@@ -1,0 +1,53 @@
+"""Ablation — two-level (clustered) placement vs flat placement.
+
+An extension beyond the paper: heavy-edge clustering + coarse placement +
+refinement.  Reports the speed/quality trade-off against the flat run.
+"""
+
+import time
+
+import pytest
+
+from repro import final_placement, hpwl_meters
+from repro.core import MultilevelPlacer
+from repro.evaluation import format_table
+
+from conftest import print_table
+
+CIRCUIT = "biomed"
+
+
+@pytest.fixture(scope="module")
+def multilevel_run(suite):
+    c = suite.circuit(CIRCUIT)
+    t0 = time.perf_counter()
+    result = MultilevelPlacer(c.netlist, c.region, levels=2).place()
+    legal = final_placement(result.placement, c.region)
+    seconds = time.perf_counter() - t0
+    return result, hpwl_meters(legal), seconds
+
+
+def test_multilevel_run(benchmark, multilevel_run):
+    result, wl, seconds = multilevel_run
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert wl > 0
+
+
+def test_multilevel_report(benchmark, suite, multilevel_run):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    flat = suite.run(CIRCUIT, "kraftwerk")
+    result, wl, seconds = multilevel_run
+    rows = [
+        ["flat", flat.wirelength_m, flat.seconds, "-"],
+        ["multilevel (2 levels)", wl, seconds, result.levels],
+    ]
+    print_table(
+        format_table(
+            ["flow", "final wl[m]", "seconds", "levels"],
+            rows,
+            title=f"Ablation: multilevel clustering on {CIRCUIT}",
+            float_digits=3,
+        )
+    )
+    # Quality within 25% of flat (usually better), and not slower than 2x.
+    assert wl < 1.25 * flat.wirelength_m

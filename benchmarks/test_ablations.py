@@ -1,0 +1,114 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+1. Net model: clique threshold (pure clique vs aggressive star expansion).
+2. Force evolution: hold vs paper-literal accumulate vs memoryless replace.
+3. Objective linearization: GORDIAN-L re-weighting on vs off.
+"""
+
+import time
+
+import pytest
+
+from repro import KraftwerkPlacer, PlacerConfig, final_placement, hpwl_meters
+from repro.evaluation import format_table
+
+from conftest import print_table
+
+CIRCUIT = "primary1"
+
+
+def _run(suite, **config_overrides):
+    c = suite.circuit(CIRCUIT)
+    cfg = PlacerConfig(**config_overrides)
+    t0 = time.perf_counter()
+    result = KraftwerkPlacer(c.netlist, c.region, cfg).place()
+    legal = final_placement(result.placement, c.region)
+    return hpwl_meters(legal), time.perf_counter() - t0, result.iterations
+
+
+class TestNetModelAblation:
+    @pytest.mark.parametrize("threshold", [3, 20, 100])
+    def test_clique_threshold(self, benchmark, suite, threshold):
+        wl, seconds, iters = benchmark.pedantic(
+            lambda: _run(suite, clique_threshold=threshold), rounds=1, iterations=1
+        )
+        assert wl > 0
+
+    def test_b2b_model(self, benchmark, suite):
+        wl, seconds, iters = benchmark.pedantic(
+            lambda: _run(suite, net_model="b2b"), rounds=1, iterations=1
+        )
+        assert wl > 0
+
+    def test_netmodel_report(self, benchmark, suite):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows = []
+        for threshold in (3, 20, 100):
+            wl, seconds, iters = _run(suite, clique_threshold=threshold)
+            rows.append([f"clique<= {threshold}", wl, seconds, iters])
+        wl, seconds, iters = _run(suite, net_model="b2b")
+        rows.append(["bound-to-bound", wl, seconds, iters])
+        print_table(
+            format_table(
+                ["net model", "final wl[m]", "seconds", "iterations"],
+                rows,
+                title=f"Ablation: net model (clique/star/B2B) on {CIRCUIT}",
+                float_digits=3,
+            )
+        )
+
+
+class TestForceModeAblation:
+    @pytest.mark.parametrize("mode", ["hold", "accumulate", "replace"])
+    def test_force_mode(self, benchmark, suite, mode):
+        wl, seconds, iters = benchmark.pedantic(
+            lambda: _run(suite, force_mode=mode), rounds=1, iterations=1
+        )
+        assert wl > 0
+
+    def test_force_mode_report(self, benchmark, suite):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows = []
+        for mode in ("hold", "accumulate", "replace"):
+            wl, seconds, iters = _run(suite, force_mode=mode)
+            rows.append([mode, wl, seconds, iters])
+        print_table(
+            format_table(
+                ["force mode", "final wl[m]", "seconds", "iterations"],
+                rows,
+                title=f"Ablation: force evolution on {CIRCUIT}",
+                float_digits=3,
+            )
+        )
+        # 'replace' collapses back toward the quadratic optimum; the two
+        # stateful modes must produce usable placements.
+        assert rows[0][1] > 0 and rows[1][1] > 0
+
+
+class TestLinearizationAblation:
+    @pytest.mark.parametrize("linearize", [True, False])
+    def test_linearize(self, benchmark, suite, linearize):
+        wl, seconds, iters = benchmark.pedantic(
+            lambda: _run(suite, linearize=linearize), rounds=1, iterations=1
+        )
+        assert wl > 0
+
+    def test_linearize_report(self, benchmark, suite):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows = []
+        results = {}
+        for linearize in (True, False):
+            wl, seconds, iters = _run(suite, linearize=linearize)
+            results[linearize] = wl
+            rows.append(["GORDIAN-L" if linearize else "quadratic", wl, seconds, iters])
+        print_table(
+            format_table(
+                ["objective", "final wl[m]", "seconds", "iterations"],
+                rows,
+                title=f"Ablation: linearization [14] on {CIRCUIT}",
+                float_digits=3,
+            )
+        )
+        # The linearized objective targets HPWL directly and should not be
+        # substantially worse than pure quadratic.
+        assert results[True] < results[False] * 1.15

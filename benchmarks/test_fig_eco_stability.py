@@ -1,0 +1,72 @@
+"""Claim C (Section 5) — ECO: incremental change, incremental placement.
+
+"Any changes in the netlist result in additional forces which move the
+surroundings slightly ... an incrementally changed netlist results in small
+changes in the placement."  This bench grows the size of the netlist delta
+and reports the resulting placement disturbance of surviving cells.
+"""
+
+import pytest
+
+from repro import Cell, NetlistDelta, eco_place
+from repro.evaluation import format_table
+
+from conftest import print_table
+
+CIRCUIT = "primary1"
+DELTA_SIZES = [1, 5, 20, 60]
+
+
+def _delta(netlist, count: int) -> NetlistDelta:
+    cells = [Cell(f"eco{i}", 40.0, 100.0) for i in range(count)]
+    targets = [netlist.cells[j].name for j in netlist.movable_indices[:count]]
+    nets = [
+        (f"econ{i}", [(f"eco{i}", "output"), (targets[i], "input")], 1.0)
+        for i in range(count)
+    ]
+    return NetlistDelta(add_cells=cells, add_nets=nets)
+
+
+@pytest.fixture(scope="module")
+def eco_results(suite):
+    base = suite.run(CIRCUIT, "kraftwerk")
+    c = suite.circuit(CIRCUIT)
+    results = []
+    for count in DELTA_SIZES:
+        delta = _delta(c.netlist, count)
+        result = eco_place(c.netlist, base.extra["placement"], delta, c.region)
+        results.append((count, result))
+    return results
+
+
+@pytest.mark.parametrize("index", range(len(DELTA_SIZES)))
+def test_eco_run(benchmark, eco_results, index):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    count, result = eco_results[index]
+    assert result.placement is not None
+
+
+def test_eco_report(benchmark, suite, eco_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    region = suite.circuit(CIRCUIT).region
+    dim = min(region.width, region.height)
+    rows = [
+        [
+            count,
+            result.mean_disturbance,
+            result.max_disturbance,
+            100.0 * result.mean_disturbance / dim,
+        ]
+        for count, result in eco_results
+    ]
+    print_table(
+        format_table(
+            ["cells added", "mean disturb[um]", "max disturb[um]", "mean % of die"],
+            rows,
+            title=f"ECO stability on {CIRCUIT} (die min dimension {dim:.0f} um)",
+            float_digits=2,
+        )
+    )
+    # Shape: small ECOs disturb the placement far less than the die size.
+    smallest = eco_results[0][1]
+    assert smallest.mean_disturbance < 0.25 * dim

@@ -1,0 +1,53 @@
+"""Claim A (Section 6.1) — fast mode (K=1.0) vs standard mode (K=0.2).
+
+The paper: "Using the fast mode, we can calculate a placement in
+approximately one third of the time compared to the standard mode.  The
+average wire length increase is 6 percent."
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import format_table
+
+from conftest import PAPER_CLAIMS, print_table
+
+CIRCUITS = ["primary1", "struct", "primary2", "biomed"]
+
+
+@pytest.mark.parametrize("circuit", CIRCUITS)
+def test_fast_mode_run(benchmark, suite, circuit):
+    run = benchmark.pedantic(
+        lambda: suite.run(circuit, "kraftwerk_fast"), rounds=1, iterations=1
+    )
+    assert run.wirelength_m > 0
+
+
+def test_fast_mode_report(benchmark, suite):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    ratios, increases = [], []
+    for circuit in CIRCUITS:
+        std = suite.run(circuit, "kraftwerk")
+        fast = suite.run(circuit, "kraftwerk_fast")
+        ratio = fast.seconds / std.seconds
+        increase = 100.0 * (fast.wirelength_m - std.wirelength_m) / std.wirelength_m
+        ratios.append(ratio)
+        increases.append(increase)
+        rows.append([circuit, std.wirelength_m, fast.wirelength_m, increase, ratio])
+    rows.append(
+        ["average", None, None, float(np.mean(increases)), float(np.mean(ratios))]
+    )
+    print_table(
+        format_table(
+            ["circuit", "std wl[m]", "fast wl[m]", "wl incr %", "time ratio"],
+            rows,
+            title=(
+                "Fast-mode trade-off (paper: ~1/3 time, +"
+                f"{PAPER_CLAIMS['fast_mode_wl_increase_pct']}% wire length)"
+            ),
+            float_digits=3,
+        )
+    )
+    # Shape: fast mode must not be slower on average and costs wire length.
+    assert float(np.mean(ratios)) < 1.2

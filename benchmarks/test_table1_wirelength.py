@@ -1,0 +1,73 @@
+"""Table 1 — wire length and CPU time per circuit and placer.
+
+Regenerates the paper's Table 1: for every suite circuit, the final
+(legalized) half-perimeter wire length in meters and the wall-clock seconds
+of TimberWolf, Gordian/Domino (our GORDIAN + final placer) and Our Approach
+(standard mode, K = 0.2).
+"""
+
+import pytest
+
+from repro.evaluation import format_table
+
+from conftest import TABLE1_CIRCUITS, print_table
+
+PLACERS = ["timberwolf", "gordian", "kraftwerk"]
+
+
+@pytest.mark.parametrize("circuit", TABLE1_CIRCUITS)
+@pytest.mark.parametrize("placer", PLACERS)
+def test_table1_run(benchmark, suite, circuit, placer):
+    """One (circuit, placer) cell of Table 1."""
+    run = benchmark.pedantic(
+        lambda: suite.run(circuit, placer), rounds=1, iterations=1
+    )
+    assert run.wirelength_m > 0.0
+    assert run.seconds > 0.0
+
+
+def test_table1_report(benchmark, suite):
+    """Assemble and print the full Table 1."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for circuit in TABLE1_CIRCUITS:
+        c = suite.circuit(circuit)
+        tw = suite.run(circuit, "timberwolf")
+        go = suite.run(circuit, "gordian")
+        kw = suite.run(circuit, "kraftwerk")
+        rows.append(
+            [
+                circuit,
+                c.netlist.num_movable,
+                c.netlist.num_nets,
+                c.region.num_rows,
+                tw.wirelength_m,
+                tw.seconds,
+                go.wirelength_m,
+                go.seconds,
+                kw.wirelength_m,
+                kw.seconds,
+            ]
+        )
+    print_table(
+        format_table(
+            [
+                "circuit",
+                "#cells",
+                "#nets",
+                "#rows",
+                "TW wl[m]",
+                "TW s",
+                "Go/Do wl[m]",
+                "Go/Do s",
+                "Ours wl[m]",
+                "Ours s",
+            ],
+            rows,
+            title=f"Table 1 (scale={suite.scale}): wire length and CPU time",
+            float_digits=4,
+        )
+    )
+    # Sanity: every placer produced a legal nonzero result everywhere.
+    for row in rows:
+        assert all(v > 0 for v in row[4:])

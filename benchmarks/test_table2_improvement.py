@@ -1,0 +1,62 @@
+"""Table 2 — wire-length improvement of our approach vs the baselines.
+
+Regenerates the paper's Table 2: percentage improvement of our wire length
+over TimberWolf and Gordian/Domino plus relative CPU times, and compares the
+averages with the paper's claims (7.9 % over TimberWolf, 6.6 % over
+Gordian/Domino at comparable runtime).
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import format_table, percent_improvement
+
+from conftest import PAPER_CLAIMS, TABLE1_CIRCUITS, print_table
+
+
+def test_table2_report(benchmark, suite):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    imp_tw, imp_go = [], []
+    for circuit in TABLE1_CIRCUITS:
+        tw = suite.run(circuit, "timberwolf")
+        go = suite.run(circuit, "gordian")
+        kw = suite.run(circuit, "kraftwerk")
+        itw = percent_improvement(tw.wirelength_m, kw.wirelength_m)
+        igo = percent_improvement(go.wirelength_m, kw.wirelength_m)
+        imp_tw.append(itw)
+        imp_go.append(igo)
+        rows.append(
+            [
+                circuit,
+                itw,
+                kw.seconds / tw.seconds,
+                igo,
+                kw.seconds / go.seconds,
+            ]
+        )
+    rows.append(
+        [
+            "average",
+            float(np.mean(imp_tw)),
+            None,
+            float(np.mean(imp_go)),
+            None,
+        ]
+    )
+    print_table(
+        format_table(
+            ["circuit", "%impr vs TW", "relCPU TW", "%impr vs Go/Do", "relCPU Go/Do"],
+            rows,
+            title=(
+                f"Table 2 (scale={suite.scale}): improvement "
+                f"(paper claims: +{PAPER_CLAIMS['wl_improvement_vs_timberwolf_pct']}% "
+                f"vs TW, +{PAPER_CLAIMS['wl_improvement_vs_gordian_pct']}% vs Go/Do)"
+            ),
+            float_digits=2,
+        )
+    )
+    # Shape assertions (loose): our approach is competitive on average —
+    # within a few percent of both baselines, as the paper reports wins.
+    assert float(np.mean(imp_go)) > -5.0
+    assert float(np.mean(imp_tw)) > -15.0

@@ -1,0 +1,53 @@
+"""Quickstart: generate a circuit, place it, legalize it, report quality.
+
+Run:  python examples/quickstart.py [circuit] [scale]
+e.g.  python examples/quickstart.py primary1 0.3
+"""
+
+import sys
+
+from repro import (
+    KraftwerkPlacer,
+    Placement,
+    PlacerConfig,
+    distribution_stats,
+    final_placement,
+    hpwl_meters,
+    make_circuit,
+    total_overlap,
+)
+
+import numpy as np
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "primary1"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.3
+    circuit = make_circuit(name, scale=scale)
+    netlist, region = circuit.netlist, circuit.region
+    print(f"circuit {netlist.name}: {netlist.num_movable} movable cells, "
+          f"{netlist.num_nets} nets, die {region.width:.0f} x {region.height:.0f} um")
+
+    # Random placement as a reference point.
+    random_p = Placement.random(netlist, region, np.random.default_rng(0))
+    print(f"random placement      : {hpwl_meters(random_p):.4f} m")
+
+    # Global placement: the paper's iterative force-directed algorithm.
+    placer = KraftwerkPlacer(netlist, region, PlacerConfig.standard())
+    result = placer.place()
+    print(f"global placement      : {result.hpwl_m:.4f} m "
+          f"({result.iterations} transformations, "
+          f"converged={result.converged}, {result.seconds:.1f}s)")
+
+    stats = distribution_stats(result.placement, region)
+    print(f"  distribution        : peak density {stats.max_density:.2f}, "
+          f"largest empty square {stats.empty_square_ratio:.1f}x avg cell")
+
+    # Final placement: Abacus legalization + greedy detailed improvement.
+    legal = final_placement(result.placement, region)
+    print(f"final placement       : {hpwl_meters(legal):.4f} m "
+          f"(overlap {total_overlap(legal):.2f} um^2)")
+
+
+if __name__ == "__main__":
+    main()

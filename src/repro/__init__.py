@@ -1,0 +1,149 @@
+"""repro — a full reproduction of "Generic Global Placement and Floorplanning"
+(Eisenmann & Johannes, DAC 1998), the force-directed placer known as
+Kraftwerk.
+
+Quickstart::
+
+    from repro import make_circuit, KraftwerkPlacer, final_placement, hpwl_meters
+
+    circuit = make_circuit("primary1", scale=0.2)
+    result = KraftwerkPlacer(circuit.netlist, circuit.region).place()
+    legal = final_placement(result.placement, circuit.region)
+    print(hpwl_meters(legal))
+
+Sub-packages:
+
+- :mod:`repro.core` — the force-directed global placer (the contribution).
+- :mod:`repro.netlist` — cells, nets, placements, benchmark generators.
+- :mod:`repro.geometry` — rectangles, rows, regions, bin grids.
+- :mod:`repro.timing` — Elmore delays, STA, timing-driven flows.
+- :mod:`repro.legalize` — Abacus/Tetris legalization + detailed improvement.
+- :mod:`repro.baselines` — GORDIAN, TimberWolf and SPEED reimplementations.
+- :mod:`repro.congestion` / :mod:`repro.thermal` — map-driven placement.
+- :mod:`repro.eco` — incremental (ECO) placement.
+- :mod:`repro.floorplan` — mixed block/cell flow.
+- :mod:`repro.evaluation` — wire length, overlap and report helpers.
+"""
+
+from .geometry import Grid, PlacementRegion, Rect
+from .netlist import (
+    Cell,
+    CellKind,
+    GeneratedCircuit,
+    GeneratorSpec,
+    MCNC_PROFILES,
+    Net,
+    Netlist,
+    NetlistBuilder,
+    Pin,
+    PinDirection,
+    Placement,
+    TIMING_CIRCUITS,
+    bench_scale,
+    generate_circuit,
+    make_circuit,
+    make_mixed_size_circuit,
+    make_suite,
+)
+from .core import (
+    FAST_K,
+    KraftwerkPlacer,
+    PlacementResult,
+    PlacerConfig,
+    STANDARD_K,
+    place_circuit,
+)
+from .evaluation import (
+    distribution_stats,
+    format_table,
+    hpwl,
+    hpwl_meters,
+    is_evenly_distributed,
+    overlap_ratio,
+    percent_improvement,
+    total_overlap,
+)
+from .legalize import (
+    AbacusLegalizer,
+    DetailedImprover,
+    TetrisLegalizer,
+    final_placement,
+)
+from .timing import (
+    ElmoreModel,
+    StaticTimingAnalyzer,
+    TimingDrivenPlacer,
+    exploitation_percent,
+    meet_timing_requirement,
+)
+from .baselines import (
+    GordianConfig,
+    GordianPlacer,
+    SpeedPlacer,
+    TimberWolfConfig,
+    TimberWolfPlacer,
+)
+from .congestion import CongestionDrivenPlacer, ProbabilisticRouter
+from .thermal import HeatDrivenPlacer, ThermalModel
+from .eco import NetlistDelta, eco_place
+from .floorplan import MixedSizePlacer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Grid",
+    "PlacementRegion",
+    "Rect",
+    "Cell",
+    "CellKind",
+    "GeneratedCircuit",
+    "GeneratorSpec",
+    "MCNC_PROFILES",
+    "Net",
+    "Netlist",
+    "NetlistBuilder",
+    "Pin",
+    "PinDirection",
+    "Placement",
+    "TIMING_CIRCUITS",
+    "bench_scale",
+    "generate_circuit",
+    "make_circuit",
+    "make_mixed_size_circuit",
+    "make_suite",
+    "FAST_K",
+    "KraftwerkPlacer",
+    "PlacementResult",
+    "PlacerConfig",
+    "STANDARD_K",
+    "place_circuit",
+    "distribution_stats",
+    "format_table",
+    "hpwl",
+    "hpwl_meters",
+    "is_evenly_distributed",
+    "overlap_ratio",
+    "percent_improvement",
+    "total_overlap",
+    "AbacusLegalizer",
+    "DetailedImprover",
+    "TetrisLegalizer",
+    "final_placement",
+    "ElmoreModel",
+    "StaticTimingAnalyzer",
+    "TimingDrivenPlacer",
+    "exploitation_percent",
+    "meet_timing_requirement",
+    "GordianConfig",
+    "GordianPlacer",
+    "SpeedPlacer",
+    "TimberWolfConfig",
+    "TimberWolfPlacer",
+    "CongestionDrivenPlacer",
+    "ProbabilisticRouter",
+    "HeatDrivenPlacer",
+    "ThermalModel",
+    "NetlistDelta",
+    "eco_place",
+    "MixedSizePlacer",
+]

@@ -1,0 +1,30 @@
+"""Baseline placers the paper compares against, reimplemented from scratch."""
+
+from .gordian import (
+    FMResult,
+    GordianConfig,
+    GordianPlacer,
+    GordianResult,
+    fm_bipartition,
+)
+from .mincut import MinCutConfig, MinCutPlacer, MinCutResult
+from .timberwolf import TimberWolfConfig, TimberWolfPlacer, TimberWolfResult
+from .speed import SpeedConfig, SpeedPlacer, SpeedResult, slack_weights
+
+__all__ = [
+    "FMResult",
+    "GordianConfig",
+    "GordianPlacer",
+    "GordianResult",
+    "fm_bipartition",
+    "MinCutConfig",
+    "MinCutPlacer",
+    "MinCutResult",
+    "TimberWolfConfig",
+    "TimberWolfPlacer",
+    "TimberWolfResult",
+    "SpeedConfig",
+    "SpeedPlacer",
+    "SpeedResult",
+    "slack_weights",
+]

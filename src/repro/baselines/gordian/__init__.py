@@ -1,0 +1,12 @@
+"""GORDIAN baseline: constrained quadratic placement + min-cut partitioning."""
+
+from .fm import FMResult, fm_bipartition
+from .gordian import GordianConfig, GordianPlacer, GordianResult
+
+__all__ = [
+    "FMResult",
+    "fm_bipartition",
+    "GordianConfig",
+    "GordianPlacer",
+    "GordianResult",
+]

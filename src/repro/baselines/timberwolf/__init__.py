@@ -1,0 +1,5 @@
+"""TimberWolf baseline: row-based simulated-annealing placement."""
+
+from .annealer import TimberWolfConfig, TimberWolfPlacer, TimberWolfResult
+
+__all__ = ["TimberWolfConfig", "TimberWolfPlacer", "TimberWolfResult"]

@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``stats``    print structural statistics of a suite circuit or netlist file.
+``place``    global placement (+ optional legalization, SVG, output files).
+``timing``   longest-path analysis of a placement.
+``convert``  convert between the repro text format and Bookshelf.
+
+Examples::
+
+    python -m repro stats --circuit biomed --scale 0.2
+    python -m repro place --circuit primary1 --scale 0.3 --legalize \
+        --out out/primary1 --svg
+    python -m repro timing --netlist out/primary1.netlist \
+        --placement out/primary1.placement
+    python -m repro convert --netlist out/primary1.netlist \
+        --placement out/primary1.placement --bookshelf out/primary1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Tuple
+
+from .core import FAST_K, KraftwerkPlacer, PlacerConfig, STANDARD_K
+from .evaluation import distribution_stats, format_table, hpwl_meters, total_overlap
+from .geometry import PlacementRegion
+from .legalize import final_placement
+from .netlist import (
+    Netlist,
+    Placement,
+    ROW_HEIGHT,
+    load_netlist,
+    load_placement,
+    make_circuit,
+    save_bookshelf,
+    save_netlist,
+    save_placement,
+)
+from .timing import StaticTimingAnalyzer
+
+
+def _load_design(args) -> Tuple[Netlist, PlacementRegion]:
+    """Netlist + region from either --circuit or --netlist."""
+    if args.circuit:
+        generated = make_circuit(args.circuit, scale=args.scale)
+        return generated.netlist, generated.region
+    if args.netlist:
+        netlist = load_netlist(args.netlist)
+        region = _region_for(netlist, args.utilization)
+        return netlist, region
+    raise SystemExit("need --circuit NAME or --netlist FILE")
+
+
+def _region_for(netlist: Netlist, utilization: float) -> PlacementRegion:
+    """Square-ish region sized from cell area at the given utilization."""
+    area = netlist.movable_area() / utilization
+    height = max(ROW_HEIGHT, round((area**0.5) / ROW_HEIGHT) * ROW_HEIGHT)
+    width = area / height
+    return PlacementRegion.standard_cell(width, height, ROW_HEIGHT)
+
+
+def _add_design_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--circuit", help="suite circuit name (e.g. biomed)")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="suite size scale factor (default 0.2)")
+    parser.add_argument("--netlist", help="repro netlist file instead of --circuit")
+    parser.add_argument("--utilization", type=float, default=0.8,
+                        help="region utilization when deriving a region")
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_stats(args) -> int:
+    netlist, region = _load_design(args)
+    stats = netlist.stats()
+    rows = [[key, value] for key, value in stats.items()]
+    rows.append(["region W x H [um]", f"{region.width:.0f} x {region.height:.0f}"])
+    rows.append(["rows", region.num_rows])
+    print(format_table(["metric", "value"], rows, title=f"circuit {netlist.name}"))
+    return 0
+
+
+def cmd_place(args) -> int:
+    netlist, region = _load_design(args)
+    config = PlacerConfig(
+        K=FAST_K if args.fast else STANDARD_K,
+        net_model=args.net_model,
+        verbose=args.verbose,
+    )
+    t0 = time.perf_counter()
+    result = KraftwerkPlacer(netlist, region, config).place()
+    placement = result.placement
+    print(f"global placement: {result.hpwl_m:.4f} m in {result.iterations} "
+          f"transformations ({time.perf_counter() - t0:.1f}s, "
+          f"converged={result.converged})")
+    if args.legalize:
+        placement = final_placement(placement, region)
+        print(f"final placement : {hpwl_meters(placement):.4f} m "
+              f"(overlap {total_overlap(placement):.2f} um^2)")
+    dist = distribution_stats(placement, region)
+    print(f"distribution    : peak density {dist.max_density:.2f}, "
+          f"largest empty square {dist.empty_square_ratio:.1f}x avg cell")
+    if args.out:
+        base = Path(args.out)
+        base.parent.mkdir(parents=True, exist_ok=True)
+        save_netlist(netlist, base.with_suffix(".netlist"))
+        save_placement(placement, base.with_suffix(".placement"))
+        print(f"wrote {base.with_suffix('.netlist')} and "
+              f"{base.with_suffix('.placement')}")
+        if args.svg:
+            from .viz import placement_svg
+
+            placement_svg(placement, region, base.with_suffix(".svg"))
+            print(f"wrote {base.with_suffix('.svg')}")
+    elif args.svg:
+        raise SystemExit("--svg needs --out BASEPATH")
+    return 0
+
+
+def cmd_timing(args) -> int:
+    netlist, region = _load_design(args)
+    if not args.placement:
+        raise SystemExit("timing needs --placement FILE")
+    placement = load_placement(netlist, args.placement)
+    analyzer = StaticTimingAnalyzer(netlist)
+    sta = analyzer.analyze(placement)
+    bound = analyzer.lower_bound_ns()
+    print(f"longest path : {sta.max_delay_ns:.3f} ns "
+          f"(zero-wire bound {bound:.3f} ns)")
+    names = [netlist.cells[i].name for i in sta.critical_path]
+    print(f"critical path ({len(names)} cells): " + " -> ".join(names[:12])
+          + (" ..." if len(names) > 12 else ""))
+    critical = sta.critical_nets(0.03)
+    rows = [
+        [netlist.nets[j].name, netlist.nets[j].degree, sta.net_slack_ns[j]]
+        for j in critical[:10]
+    ]
+    print(format_table(["net", "pins", "slack [ns]"], rows,
+                       title="most critical nets"))
+    return 0
+
+
+def cmd_route(args) -> int:
+    netlist, region = _load_design(args)
+    if not args.placement:
+        raise SystemExit("route needs --placement FILE")
+    placement = load_placement(netlist, args.placement)
+    from .congestion import PatternRouter
+
+    router = PatternRouter(
+        region, bins=args.bins, tracks_per_edge=args.tracks
+    )
+    result = router.route(placement)
+    print(f"routed wirelength : {result.wirelength_um / 1e6:.4f} m")
+    print(f"total overflow    : {result.total_overflow:.1f} "
+          f"(max utilization {result.max_usage_ratio:.2f})")
+    print(f"rip-up iterations : {result.iterations}")
+    if args.svg:
+        from .viz import heatmap_svg
+
+        heatmap_svg(router.grid, result.congestion_map(), args.svg)
+        print(f"wrote congestion map {args.svg}")
+    return 0
+
+
+def cmd_convert(args) -> int:
+    netlist, region = _load_design(args)
+    placement = (
+        load_placement(netlist, args.placement) if args.placement else None
+    )
+    if not args.bookshelf:
+        raise SystemExit("convert needs --bookshelf BASEPATH")
+    aux = save_bookshelf(netlist, region, args.bookshelf, placement)
+    print(f"wrote {aux} (+ .nodes/.nets/.pl/.scl)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Kraftwerk (DAC 1998) force-directed placement toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="print circuit statistics")
+    _add_design_args(p_stats)
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_place = sub.add_parser("place", help="run global placement")
+    _add_design_args(p_place)
+    p_place.add_argument("--fast", action="store_true",
+                         help="fast mode (K = 1.0) instead of standard (K = 0.2)")
+    p_place.add_argument("--net-model", choices=["clique", "b2b"],
+                         default="clique")
+    p_place.add_argument("--legalize", action="store_true",
+                         help="run final placement (Abacus + improvement)")
+    p_place.add_argument("--out", help="basepath for .netlist/.placement output")
+    p_place.add_argument("--svg", action="store_true",
+                         help="also write an SVG rendering (needs --out)")
+    p_place.add_argument("--verbose", action="store_true")
+    p_place.set_defaults(func=cmd_place)
+
+    p_timing = sub.add_parser("timing", help="longest-path analysis")
+    _add_design_args(p_timing)
+    p_timing.add_argument("--placement", help="repro placement file")
+    p_timing.set_defaults(func=cmd_timing)
+
+    p_route = sub.add_parser("route", help="global-route a placement")
+    _add_design_args(p_route)
+    p_route.add_argument("--placement", help="repro placement file")
+    p_route.add_argument("--bins", type=int, default=24)
+    p_route.add_argument("--tracks", type=float, default=12.0,
+                         help="routing tracks per grid edge")
+    p_route.add_argument("--svg", help="write the congestion map here")
+    p_route.set_defaults(func=cmd_route)
+
+    p_convert = sub.add_parser("convert", help="export to Bookshelf")
+    _add_design_args(p_convert)
+    p_convert.add_argument("--placement", help="repro placement file")
+    p_convert.add_argument("--bookshelf", help="output basepath")
+    p_convert.set_defaults(func=cmd_convert)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Routing estimation and congestion-driven placement."""
+
+from .router import (
+    DEFAULT_WIRE_PITCH,
+    ProbabilisticRouter,
+    RoutingEstimate,
+)
+from .driven import CongestionDrivenPlacer, CongestionResult
+from .patternroute import PatternRouter, RoutingResult
+
+__all__ = [
+    "DEFAULT_WIRE_PITCH",
+    "ProbabilisticRouter",
+    "RoutingEstimate",
+    "CongestionDrivenPlacer",
+    "CongestionResult",
+    "PatternRouter",
+    "RoutingResult",
+]

@@ -1,0 +1,68 @@
+"""Congestion-driven placement (Section 5).
+
+Before each placement transformation a routing estimation runs; bins whose
+wiring demand exceeds capacity contribute the excess as *additional area
+demand* to the density model, so the Poisson forces push cells out of
+congested regions.  "With this approach, the placement and the congestion
+map converge simultaneously."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core import KraftwerkPlacer, PlacementResult, PlacerConfig
+from ..geometry import PlacementRegion
+from ..netlist import Netlist, Placement
+from .router import DEFAULT_WIRE_PITCH, ProbabilisticRouter, RoutingEstimate
+
+
+@dataclass
+class CongestionResult:
+    result: PlacementResult
+    estimate: RoutingEstimate  # final congestion map
+
+    @property
+    def placement(self) -> Placement:
+        return self.result.placement
+
+    @property
+    def total_overflow(self) -> float:
+        return self.estimate.total_overflow
+
+
+class CongestionDrivenPlacer:
+    """Kraftwerk with the congestion map folded into the density."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        region: PlacementRegion,
+        config: Optional[PlacerConfig] = None,
+        wire_pitch: float = DEFAULT_WIRE_PITCH,
+        capacity_layers: float = 2.0,
+        congestion_weight: float = 1.0,
+    ):
+        self.placer = KraftwerkPlacer(netlist, region, config)
+        # Estimate on the density grid so overflow is directly extra demand.
+        self.router = ProbabilisticRouter(
+            region,
+            grid=self.placer.force_calc.density_model.grid,
+            wire_pitch=wire_pitch,
+            capacity_layers=capacity_layers,
+        )
+        self.congestion_weight = congestion_weight
+        self._last_estimate: Optional[RoutingEstimate] = None
+
+    def place(self, initial: Optional[Placement] = None) -> CongestionResult:
+        def extra_demand(_iteration: int, placement: Placement) -> np.ndarray:
+            estimate = self.router.estimate(placement)
+            self._last_estimate = estimate
+            return self.congestion_weight * estimate.overflow
+
+        result = self.placer.place(initial=initial, extra_demand_hook=extra_demand)
+        final_estimate = self.router.estimate(result.placement)
+        return CongestionResult(result=result, estimate=final_estimate)

@@ -1,0 +1,93 @@
+"""Probabilistic routing estimation.
+
+Section 5 ("Congestion and Heat Driven Placement"): before each placement
+transformation a routing estimation is executed and turned into a congestion
+map.  We use the uniform bounding-box wire-density model (each net spreads
+``(w + h) * wire_pitch`` of wiring area uniformly over its bounding box —
+the estimator later popularized as RUDY): cheap, smooth, and empirically a
+good congestion predictor, which is exactly what a per-iteration estimate
+needs to be.
+
+Degenerate boxes (zero width or height) are inflated to one wire pitch so a
+flat net still claims routing area along its length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..evaluation.wirelength import net_bounding_boxes
+from ..geometry import Grid, PlacementRegion, Rect
+from ..netlist import Placement
+
+DEFAULT_WIRE_PITCH = 4.0  # microns of routing width consumed per wire
+
+
+@dataclass
+class RoutingEstimate:
+    """Wiring-area demand and capacity per bin."""
+
+    grid: Grid
+    demand: np.ndarray  # wiring area demanded per bin
+    capacity: np.ndarray  # wiring area available per bin
+
+    @property
+    def utilization(self) -> np.ndarray:
+        return self.demand / np.maximum(self.capacity, 1e-12)
+
+    @property
+    def overflow(self) -> np.ndarray:
+        """Wiring area demanded beyond each bin's capacity."""
+        return np.maximum(self.demand - self.capacity, 0.0)
+
+    @property
+    def total_overflow(self) -> float:
+        return float(self.overflow.sum())
+
+    @property
+    def max_utilization(self) -> float:
+        return float(self.utilization.max())
+
+
+class ProbabilisticRouter:
+    """Bounding-box routing estimator over a fixed grid."""
+
+    def __init__(
+        self,
+        region: PlacementRegion,
+        grid: Optional[Grid] = None,
+        bins: int = 32,
+        wire_pitch: float = DEFAULT_WIRE_PITCH,
+        capacity_layers: float = 2.0,
+    ):
+        self.region = region
+        self.grid = grid or Grid(region.bounds, bins, bins)
+        self.wire_pitch = wire_pitch
+        # Each bin offers `capacity_layers` full layers of routing area.
+        self.capacity = np.full(self.grid.shape, self.grid.bin_area * capacity_layers)
+
+    def estimate(
+        self, placement: Placement, net_weights: Optional[np.ndarray] = None
+    ) -> RoutingEstimate:
+        boxes = net_bounding_boxes(placement)
+        demand = self.grid.zeros()
+        pitch = self.wire_pitch
+        weights = net_weights
+        for j in range(boxes.shape[0]):
+            xlo, ylo, xhi, yhi = boxes[j]
+            w = max(xhi - xlo, pitch)
+            h = max(yhi - ylo, pitch)
+            wirelength = (xhi - xlo) + (yhi - ylo)
+            if wirelength <= 0.0:
+                continue
+            wire_area = wirelength * pitch
+            if weights is not None:
+                wire_area *= float(weights[j])
+            # Spread the wiring area uniformly over the (inflated) box.
+            self.grid.add_rect(
+                demand, Rect(xlo, ylo, w, h), scale=wire_area / (w * h)
+            )
+        return RoutingEstimate(grid=self.grid, demand=demand, capacity=self.capacity)

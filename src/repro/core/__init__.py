@@ -1,0 +1,58 @@
+"""The paper's primary contribution: the force-directed global placer."""
+
+from .config import PlacerConfig, STANDARD_K, FAST_K
+from .density import DensityModel, DensityResult, density_grid, splat_bilinear
+from .forces import CellForces, ForceCalculator
+from .linearization import linearization_factors
+from .placer import (
+    IterationStats,
+    KraftwerkPlacer,
+    PlacementResult,
+    place_circuit,
+)
+from .poisson import (
+    ForceField,
+    bilinear_sample,
+    compute_force_field,
+    curl,
+    divergence,
+    force_field_direct,
+    force_field_fft,
+)
+from .b2b import B2BSystem
+from .multilevel import MultilevelPlacer, MultilevelResult
+from .quadratic import AssembledSystem, QuadraticSystem
+from .solver import SolveResult, conjugate_gradient, solve_kkt, solve_spd
+
+__all__ = [
+    "PlacerConfig",
+    "STANDARD_K",
+    "FAST_K",
+    "DensityModel",
+    "DensityResult",
+    "density_grid",
+    "splat_bilinear",
+    "CellForces",
+    "ForceCalculator",
+    "linearization_factors",
+    "IterationStats",
+    "KraftwerkPlacer",
+    "PlacementResult",
+    "place_circuit",
+    "ForceField",
+    "bilinear_sample",
+    "compute_force_field",
+    "curl",
+    "divergence",
+    "force_field_direct",
+    "force_field_fft",
+    "AssembledSystem",
+    "B2BSystem",
+    "MultilevelPlacer",
+    "MultilevelResult",
+    "QuadraticSystem",
+    "SolveResult",
+    "conjugate_gradient",
+    "solve_kkt",
+    "solve_spd",
+]

@@ -1,0 +1,154 @@
+"""Configuration of the force-directed placer.
+
+The paper exposes essentially one knob — the force strength ``K`` (Section
+4.1): forces are scaled so the strongest additional force equals the pull of
+a net of length ``K (W + H)``.  ``K = 0.2`` is the paper's standard mode,
+``K = 1.0`` its fast mode.  Everything else here is an implementation
+parameter with a paper-faithful default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+STANDARD_K = 0.2
+FAST_K = 1.0
+
+
+@dataclass
+class PlacerConfig:
+    """All knobs of :class:`~repro.core.placer.KraftwerkPlacer`.
+
+    Attributes
+    ----------
+    K:
+        Force strength parameter from Section 4.1.  Larger values spread the
+        placement faster at some wire-length cost (Section 6.1 reports the
+        fast mode at roughly one third of the runtime and +6 % wire length).
+    max_iterations:
+        Safety bound on placement transformations.
+    min_iterations:
+        Run at least this many transformations before testing the stopping
+        criterion (the criterion is trivially false right after the
+        all-cells-at-center initialization).
+    stop_empty_square_cells:
+        Stop once no empty square larger than this multiple of the average
+        cell area exists (Section 4.2 uses 4.0).
+    stop_overflow_fraction:
+        Additional stop condition: the fraction of demand above 100 % bin
+        capacity must also fall below this value, so the iteration does not
+        stop while hole-free but still locally piled up.
+    force_mode:
+        How the constant force vector ``e`` of Eq. 3 evolves between
+        transformations.
+
+        * ``"hold"`` (default): ``e`` is recomputed each step as the *hold
+          force* ``C p_cur + d`` that makes the current placement the exact
+          equilibrium of the freshly assembled (re-linearized, re-weighted)
+          system, relaxed by ``hold_relaxation`` toward the quadratic
+          optimum, plus the new density kick.  Algebraically identical to
+          the paper's accumulated force when ``C`` is constant, but immune
+          to the equilibrium drift that re-linearization causes.
+        * ``"accumulate"``: the paper-literal ``e <- e + f`` accumulation.
+        * ``"replace"``: ``e <- f`` (no memory) — ablation only; the
+          placement collapses back toward the quadratic optimum.
+    response_tether:
+        In ``"hold"`` mode, strength (relative to the mean matrix diagonal)
+        of the temporary spring tethering each cell to its current position
+        while the displacement response to the density kick is computed.
+        It localizes the response; without it the kick pours into near-rigid
+        collective modes.
+    spread_pin:
+        Strength (relative to the mean matrix diagonal) of the pseudo-spring
+        pinning each cell to its spread target during the wire-length
+        re-optimization solve.  Smaller values let the quadratic objective
+        pull harder (better wire length, more iterations).  The effective
+        pin is scaled by ``K / 0.2`` so the paper's fast mode (K = 1.0)
+        converges in roughly a third of the transformations at a modest
+        wire-length cost, as reported in Section 6.1.
+    stall_iterations:
+        Stop (unconverged) when the emptiness criterion has not improved for
+        this many transformations.
+    linearize:
+        Apply GORDIAN-L style net-weight linearization [14] so the quadratic
+        solve approximates linear wire length.
+    net_model:
+        ``"clique"`` (the paper's model; stars above ``clique_threshold``)
+        or ``"b2b"`` — the bound-to-bound model that linearizes HPWL exactly
+        and therefore ignores the ``linearize`` flag.
+    clique_threshold:
+        Nets with more pins than this are expanded as stars (one auxiliary
+        movable vertex) instead of cliques to keep the matrix sparse.
+    density_bins:
+        Grid resolution for the density map; ``None`` picks a resolution
+        where a bin is roughly one average cell.
+    max_density_bins:
+        Upper bound on bins per axis (keeps the FFT cheap on huge regions).
+    cg_tol / cg_max_iter:
+        Preconditioned conjugate-gradient termination.
+    anchor_weight:
+        Tiny spring from every movable cell to the region center; regularizes
+        the system when a netlist has few or no fixed cells.  ``None`` picks
+        automatically (stronger when the netlist has no fixed cells).
+    clamp_to_region:
+        Clamp cell centers into the placement region after each solve.
+    seed:
+        Seed for the tiny symmetry-breaking jitter applied at initialization
+        (all cells exactly on one point is a degenerate density pattern).
+    verbose:
+        Print one line per placement transformation.
+    """
+
+    K: float = STANDARD_K
+    max_iterations: int = 120
+    min_iterations: int = 5
+    stop_empty_square_cells: float = 4.0
+    stop_overflow_fraction: float = 0.45
+    force_mode: str = "hold"
+    response_tether: float = 0.05
+    spread_pin: float = 0.15
+    kick_memory: float = 0.7
+    stall_iterations: int = 30
+    linearize: bool = True
+    net_model: str = "clique"
+    clique_threshold: int = 20
+    density_bins: Optional[int] = None
+    max_density_bins: int = 256
+    cg_tol: float = 1e-7
+    cg_max_iter: int = 1000
+    anchor_weight: Optional[float] = None
+    clamp_to_region: bool = True
+    seed: int = 2207
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.K <= 0:
+            raise ValueError(f"K must be positive, got {self.K}")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        if self.stop_empty_square_cells <= 0:
+            raise ValueError("stop_empty_square_cells must be positive")
+        if self.clique_threshold < 2:
+            raise ValueError("clique_threshold must be at least 2")
+        if self.net_model not in ("clique", "b2b"):
+            raise ValueError(
+                f"net_model must be 'clique' or 'b2b', got {self.net_model!r}"
+            )
+        if self.force_mode not in ("hold", "accumulate", "replace"):
+            raise ValueError(
+                f"force_mode must be 'hold', 'accumulate' or 'replace', "
+                f"got {self.force_mode!r}"
+            )
+        if self.response_tether <= 0 or self.spread_pin <= 0:
+            raise ValueError("response_tether and spread_pin must be positive")
+
+    @classmethod
+    def standard(cls, **overrides) -> "PlacerConfig":
+        """The paper's standard mode (K = 0.2)."""
+        return cls(K=STANDARD_K, **overrides)
+
+    @classmethod
+    def fast(cls, **overrides) -> "PlacerConfig":
+        """The paper's fast mode (K = 1.0), for floorplanning estimation."""
+        return cls(K=FAST_K, **overrides)

@@ -1,0 +1,411 @@
+"""The iterative force-directed global placer (Section 4).
+
+One *placement transformation* (Section 4.1):
+
+1. compute the density of the current placement and the Poisson force field,
+2. sample the field at every movable cell and scale so the strongest force
+   equals the pull of a net of length ``K (W + H)``,
+3. accumulate the forces into the constant force vector ``e``,
+4. re-assemble the quadratic system (with net-weight linearization [14] and
+   any runtime net weights, e.g. timing weights) and solve
+   ``C p + d + e = 0`` by preconditioned conjugate gradients.
+
+The full algorithm (Section 4.2) starts with all cells at the region center
+and zero forces, applies transformations until no empty square larger than
+four times the average cell area remains, and is completely restart-able:
+:class:`PlacementResult` carries the accumulated forces, so ECO flows can
+resume from a previous equilibrium (Section 5).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..evaluation.wirelength import hpwl_meters
+from ..geometry import PlacementRegion, largest_empty_square_side
+from ..netlist import Netlist, Placement
+from .config import PlacerConfig, STANDARD_K
+from .forces import CellForces, ForceCalculator
+from .linearization import linearization_factors
+from .quadratic import QuadraticSystem
+from .solver import conjugate_gradient
+
+# Hook signatures: called before each transformation.
+NetWeightHook = Callable[[int, Placement], Optional[np.ndarray]]
+ExtraDemandHook = Callable[[int, Placement], Optional[np.ndarray]]
+IterationHook = Callable[["IterationStats", Placement], None]
+
+
+@dataclass
+class IterationStats:
+    """Diagnostics for one placement transformation."""
+
+    iteration: int
+    hpwl_m: float
+    empty_square_ratio: float  # largest empty square area / avg cell area
+    overflow_fraction: float  # demand above bin capacity / movable area
+    max_force: float
+    force_scale: float
+    cg_iterations: int
+    seconds: float
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of a placement run."""
+
+    placement: Placement
+    converged: bool
+    iterations: int
+    history: List[IterationStats] = field(default_factory=list)
+    forces: Tuple[np.ndarray, np.ndarray] = (np.zeros(0), np.zeros(0))
+    seconds: float = 0.0
+
+    @property
+    def hpwl_m(self) -> float:
+        return hpwl_meters(self.placement)
+
+
+class KraftwerkPlacer:
+    """Force-directed global placer for one netlist on one region."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        region: PlacementRegion,
+        config: Optional[PlacerConfig] = None,
+    ):
+        if netlist.num_movable == 0:
+            raise ValueError("netlist has no movable cells")
+        self.netlist = netlist
+        self.region = region
+        self.config = config or PlacerConfig()
+        if self.config.net_model == "b2b":
+            from .b2b import B2BSystem
+
+            self.system = B2BSystem(netlist)
+        else:
+            self.system = QuadraticSystem(
+                netlist, clique_threshold=self.config.clique_threshold
+            )
+        self.force_calc = ForceCalculator(
+            netlist,
+            region,
+            bins=self.config.density_bins,
+            max_bins=self.config.max_density_bins,
+        )
+        # Linearization span guard: roughly one cell width, so coincident
+        # cells are not welded together by quasi-infinite 1/span weights.
+        mean_width = (
+            float(netlist.widths[netlist.movable_indices].mean())
+            if netlist.num_movable
+            else 1.0
+        )
+        self._gamma = max(1e-6, mean_width, 0.01 * min(region.width, region.height))
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def initial_placement(self) -> Placement:
+        """All cells at the region center with tiny symmetry-breaking jitter."""
+        placement = Placement.at_center(self.netlist, self.region)
+        rng = np.random.default_rng(self.config.seed)
+        movable = self.netlist.movable_indices
+        jitter = 1e-3 * min(self.region.width, self.region.height)
+        placement.x[movable] += rng.uniform(-jitter, jitter, movable.size)
+        placement.y[movable] += rng.uniform(-jitter, jitter, movable.size)
+        return placement
+
+    def place(
+        self,
+        initial: Optional[Placement] = None,
+        initial_forces: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        net_weight_hook: Optional[NetWeightHook] = None,
+        extra_demand_hook: Optional[ExtraDemandHook] = None,
+        iteration_hook: Optional[IterationHook] = None,
+        max_iterations: Optional[int] = None,
+    ) -> PlacementResult:
+        """Run the iterative algorithm to convergence.
+
+        Hooks make the placer "generic" in the paper's sense: a
+        ``net_weight_hook`` supplies timing weights (Section 5), an
+        ``extra_demand_hook`` supplies congestion/heat demand maps, and an
+        ``iteration_hook`` observes progress (e.g. to record trade-off
+        curves).  ``initial``/``initial_forces`` resume from a previous
+        equilibrium for ECO flows.
+        """
+        cfg = self.config
+        limit = max_iterations if max_iterations is not None else cfg.max_iterations
+        placement = initial.copy() if initial is not None else self.initial_placement()
+        n_mov = self.netlist.num_movable
+        if initial_forces is not None:
+            e_x = np.asarray(initial_forces[0], dtype=np.float64).copy()
+            e_y = np.asarray(initial_forces[1], dtype=np.float64).copy()
+            if e_x.shape != (n_mov,) or e_y.shape != (n_mov,):
+                raise ValueError("initial forces must have one entry per movable cell")
+        else:
+            e_x = np.zeros(n_mov)
+            e_y = np.zeros(n_mov)
+
+        anchor = self._anchor_weight()
+        center = self.region.bounds.center
+        history: List[IterationStats] = []
+        converged = False
+        t_start = time.perf_counter()
+
+        for m in range(limit):
+            t0 = time.perf_counter()
+            weights = net_weight_hook(m, placement) if net_weight_hook else None
+            extra = extra_demand_hook(m, placement) if extra_demand_hook else None
+
+            system = self._assemble(placement, weights, anchor, center)
+            stiffness = np.asarray(system.Ax.diagonal())[: self.system.n_movable]
+            forces = self.force_calc.compute(
+                placement, K=cfg.K, extra_demand=extra, stiffness=stiffness
+            )
+            if cfg.force_mode == "accumulate":
+                e_x += forces.fx
+                e_y += forces.fy
+            elif cfg.force_mode == "hold":
+                # Decaying accumulation (the paper's e <- e + f with a leak):
+                # a persistently overlapping cluster keeps gathering outward
+                # pressure until it separates, while resolved regions forget
+                # their old forces instead of oscillating.
+                e_x = cfg.kick_memory * e_x + forces.fx
+                e_y = cfg.kick_memory * e_y + forces.fy
+            else:  # "replace" has no memory
+                e_x = forces.fx.copy()
+                e_y = forces.fy.copy()
+
+            placement, cg_iters = self._solve(
+                placement, system, e_x, e_y,
+                unevenness=forces.unevenness, anchor=anchor,
+            )
+
+            ratio, overflow = self._distribution_state(placement)
+            stats = IterationStats(
+                iteration=m,
+                hpwl_m=hpwl_meters(placement),
+                empty_square_ratio=ratio,
+                overflow_fraction=overflow,
+                max_force=forces.max_magnitude(),
+                force_scale=forces.scale,
+                cg_iterations=cg_iters,
+                seconds=time.perf_counter() - t0,
+            )
+            history.append(stats)
+            if cfg.verbose:
+                print(
+                    f"[kraftwerk {self.netlist.name}] it={m} "
+                    f"hpwl={stats.hpwl_m:.4f}m empty={ratio:.1f} "
+                    f"ovf={overflow:.2f} cg={cg_iters}"
+                )
+            if iteration_hook:
+                iteration_hook(stats, placement)
+            if (
+                m + 1 >= cfg.min_iterations
+                and ratio <= cfg.stop_empty_square_cells
+                and overflow <= cfg.stop_overflow_fraction
+            ):
+                converged = True
+                break
+            # Stall detection: the criteria can sit just above threshold
+            # when springs and forces balance; stop rather than spin.
+            score = [
+                max(s.empty_square_ratio / cfg.stop_empty_square_cells,
+                    s.overflow_fraction / max(cfg.stop_overflow_fraction, 1e-9))
+                for s in history
+            ]
+            if (
+                len(history) >= 2 * cfg.stall_iterations
+                and min(score[-cfg.stall_iterations:]) > min(score)
+            ):
+                break
+
+        return PlacementResult(
+            placement=placement,
+            converged=converged,
+            iterations=len(history),
+            history=history,
+            forces=(e_x, e_y),
+            seconds=time.perf_counter() - t_start,
+        )
+
+    # ------------------------------------------------------------------
+    # One placement transformation
+    # ------------------------------------------------------------------
+    def _assemble(
+        self,
+        placement: Placement,
+        net_weights: Optional[np.ndarray],
+        anchor: float,
+        center: Tuple[float, float],
+    ):
+        if self.config.net_model == "b2b":
+            return self.system.assemble_at(
+                placement,
+                net_weights=net_weights,
+                anchor_weight=anchor,
+                anchor_xy=center,
+            )
+        if self.config.linearize:
+            lin_x, lin_y = linearization_factors(placement, gamma=self._gamma)
+        else:
+            lin_x = lin_y = None
+        return self.system.assemble(
+            net_weights=net_weights,
+            lin_x=lin_x,
+            lin_y=lin_y,
+            anchor_weight=anchor,
+            anchor_xy=center,
+        )
+
+    def _solve(
+        self,
+        placement: Placement,
+        system,
+        e_x: np.ndarray,
+        e_y: np.ndarray,
+        unevenness: float = 1.0,
+        anchor: float = 0.0,
+    ) -> Tuple[Placement, int]:
+        cfg = self.config
+        fx, fy = self.system.forces_to_vars(e_x, e_y)
+        x0, y0 = self.system.vars_from_placement(placement)
+        if cfg.force_mode == "hold":
+            new_x, new_y, cg_iters = self._hold_step(
+                system, x0, y0, fx, fy, unevenness, anchor
+            )
+        else:
+            rx = conjugate_gradient(
+                system.Ax, system.bx + fx, x0=x0,
+                tol=cfg.cg_tol, max_iter=cfg.cg_max_iter,
+            )
+            ry = conjugate_gradient(
+                system.Ay, system.by + fy, x0=y0,
+                tol=cfg.cg_tol, max_iter=cfg.cg_max_iter,
+            )
+            new_x, new_y, cg_iters = rx.x, ry.x, rx.iterations + ry.iterations
+        new_placement = self.system.placement_from_vars(new_x, new_y, placement)
+        if cfg.clamp_to_region:
+            new_placement.clamp_to_region(self.region)
+        return new_placement, cg_iters
+
+    def _hold_step(
+        self,
+        system,
+        x0: np.ndarray,
+        y0: np.ndarray,
+        fx: np.ndarray,
+        fy: np.ndarray,
+        unevenness: float,
+        anchor: float = 0.0,
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """One transformation in hold mode.
+
+        The new placement is ``keep * p_cur + relax * p_opt + alpha * u``
+        where ``u = A^-1 f`` is the exact displacement response to the kick
+        and ``alpha`` rescales it so the largest *actual* step equals the
+        target ``unevenness * K (W + H)``.  Forces excite the near-rigid
+        collective modes of the spring system (only pads resist a coherent
+        drift of a whole clump), so bounding the response rather than the
+        force is the only way to control the step robustly.
+        """
+        cfg = self.config
+        cg_iters = 0
+        # Displacement response to the kick alone.  Each cell is additionally
+        # tethered to its current position (the mu*I term): without it the
+        # kick pours into the near-rigid collective modes of the spring
+        # system (a whole clump drifting is nearly free when only pads hold
+        # it), the raw response explodes, and the rescaled step degenerates
+        # to zero.  The tether localizes the response, exactly like the
+        # fixed-point move springs of follow-up force-directed placers.
+        mu = cfg.response_tether * float(system.Ax.diagonal().mean())
+        Ax_reg = system.Ax + mu * sp.identity(system.Ax.shape[0], format="csr")
+        Ay_reg = system.Ay + mu * sp.identity(system.Ay.shape[0], format="csr")
+        ru = conjugate_gradient(
+            Ax_reg, fx, x0=None, tol=cfg.cg_tol, max_iter=cfg.cg_max_iter
+        )
+        rv = conjugate_gradient(
+            Ay_reg, fy, x0=None, tol=cfg.cg_tol, max_iter=cfg.cg_max_iter
+        )
+        cg_iters += ru.iterations + rv.iterations
+        step = np.hypot(ru.x, rv.x)
+        max_step = float(step.max()) if step.size else 0.0
+        target = unevenness * self.config.K * self.region.half_perimeter
+        # A step cannot usefully exceed a fraction of the region: larger
+        # targets (e.g. the fast mode's K = 1.0 on a small die) would throw
+        # cells across the chip and oscillate instead of converging faster.
+        target = min(target, 0.35 * min(self.region.width, self.region.height))
+        alpha = target / max_step if max_step > 0.0 else 0.0
+
+        spread_x = x0 + alpha * ru.x
+        spread_y = y0 + alpha * rv.x
+
+        # Re-optimize wire length around the spread targets: solve the full
+        # spring system with an extra pseudo-spring pinning every variable
+        # softly to its spread position.  This is the step that lets the
+        # quadratic objective keep refining wire length *while* the density
+        # forces distribute the cells; with the pin alone (no re-solve) the
+        # placement would merely diffuse and never recover netlist order.
+        # K couples into the pin strength: the fast mode takes bigger density
+        # steps *and* holds them more firmly against the springs.  The pin
+        # must also dominate the center anchor: for sparsely connected (or
+        # netless) systems the anchor is the whole diagonal, and a weaker
+        # pin would let it pull every step most of the way back to center.
+        pin = cfg.spread_pin * (cfg.K / STANDARD_K) * float(system.Ax.diagonal().mean())
+        pin = max(pin, 10.0 * anchor)
+        Ax_pin = system.Ax + pin * sp.identity(system.Ax.shape[0], format="csr")
+        Ay_pin = system.Ay + pin * sp.identity(system.Ay.shape[0], format="csr")
+        rx = conjugate_gradient(
+            Ax_pin, system.bx + pin * spread_x, x0=spread_x,
+            tol=cfg.cg_tol, max_iter=cfg.cg_max_iter,
+        )
+        ry = conjugate_gradient(
+            Ay_pin, system.by + pin * spread_y, x0=spread_y,
+            tol=cfg.cg_tol, max_iter=cfg.cg_max_iter,
+        )
+        cg_iters += rx.iterations + ry.iterations
+        return rx.x, ry.x, cg_iters
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _anchor_weight(self) -> float:
+        if self.config.anchor_weight is not None:
+            return self.config.anchor_weight
+        # Without fixed cells the system is singular; anchor harder then.
+        return 1e-3 if self.netlist.num_fixed == 0 else 1e-6
+
+    def _distribution_state(self, placement: Placement) -> Tuple[float, float]:
+        """(empty-square ratio, overflow fraction) of the placement.
+
+        The first is the paper's Section 4.2 quantity (largest empty square
+        area over average cell area); the second measures remaining pile-ups
+        (demand above 100 % bin capacity over total movable area).
+        """
+        density = self.force_calc.density_model.compute(placement)
+        grid = density.grid
+        side = largest_empty_square_side(
+            density.demand, min(grid.dx, grid.dy), tol_area=1e-9 * grid.bin_area
+        )
+        ratio = side * side / self.netlist.average_movable_area()
+        overflow = float(
+            np.maximum(density.demand - grid.bin_area, 0.0).sum()
+        ) / max(self.netlist.movable_area(), 1e-12)
+        return ratio, overflow
+
+
+def place_circuit(
+    netlist: Netlist,
+    region: PlacementRegion,
+    config: Optional[PlacerConfig] = None,
+    **place_kwargs,
+) -> PlacementResult:
+    """Convenience one-call global placement."""
+    return KraftwerkPlacer(netlist, region, config).place(**place_kwargs)

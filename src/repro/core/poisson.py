@@ -1,0 +1,161 @@
+"""Poisson-derived force fields (Section 3.3, Eq. 7-9).
+
+Requirements 1-4 of the paper determine the additional force uniquely as the
+field of the density "charge" distribution:
+
+    f(r) = (k / 2π) ∬ D(r') (r - r') / |r - r'|²  dr'        (Eq. 9)
+
+On the density grid this integral becomes a discrete convolution of the bin
+masses ``D`` with the kernel ``g(v) = v / |v|²`` (zero at the origin).  Two
+evaluators are provided:
+
+* :func:`force_field_fft` — zero-padded FFT convolution, O(N log N); the
+  production path.
+* :func:`force_field_direct` — literal double sum, O(N²); the reference the
+  FFT path is tested against.
+
+The returned field is *unscaled* (``k = 1``); the placer rescales it so the
+strongest per-cell force matches ``K (W + H)`` (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from scipy.signal import fftconvolve
+
+from ..geometry import Grid
+from .density import DensityResult
+
+_TWO_PI = 2.0 * np.pi
+
+
+def _kernel_grids(grid: Grid) -> Tuple[np.ndarray, np.ndarray]:
+    """The x- and y-kernels sampled at all bin-center offset vectors."""
+    off_x = grid.dx * np.arange(-(grid.nx - 1), grid.nx)
+    off_y = grid.dy * np.arange(-(grid.ny - 1), grid.ny)
+    vx, vy = np.meshgrid(off_x, off_y)
+    r2 = vx * vx + vy * vy
+    with np.errstate(divide="ignore", invalid="ignore"):
+        gx = np.where(r2 > 0.0, vx / r2, 0.0)
+        gy = np.where(r2 > 0.0, vy / r2, 0.0)
+    return gx, gy
+
+
+@dataclass
+class ForceField:
+    """Force vectors sampled at the bin centers of *grid*."""
+
+    grid: Grid
+    fx: np.ndarray
+    fy: np.ndarray
+
+    def sample(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Bilinearly interpolated force at arbitrary points (clamped)."""
+        return (
+            bilinear_sample(self.grid, self.fx, x, y),
+            bilinear_sample(self.grid, self.fy, x, y),
+        )
+
+    def max_magnitude(self) -> float:
+        return float(np.sqrt(self.fx * self.fx + self.fy * self.fy).max())
+
+
+def force_field_fft(density: DensityResult) -> ForceField:
+    """FFT evaluation of Eq. 9 over the whole grid."""
+    grid = density.grid
+    gx, gy = _kernel_grids(grid)
+    d = density.density
+    fx = fftconvolve(d, gx, mode="same") / _TWO_PI
+    fy = fftconvolve(d, gy, mode="same") / _TWO_PI
+    return ForceField(grid=grid, fx=fx, fy=fy)
+
+
+def force_field_direct(density: DensityResult) -> ForceField:
+    """O(N²) literal evaluation of Eq. 9 — reference implementation."""
+    grid = density.grid
+    xc = grid.x_centers()
+    yc = grid.y_centers()
+    px, py = np.meshgrid(xc, yc)
+    points = np.stack([px.ravel(), py.ravel()], axis=1)
+    masses = density.density.ravel()
+    fx = np.zeros(len(points))
+    fy = np.zeros(len(points))
+    for src_idx in range(len(points)):
+        m = masses[src_idx]
+        if m == 0.0:
+            continue
+        dx = points[:, 0] - points[src_idx, 0]
+        dy = points[:, 1] - points[src_idx, 1]
+        r2 = dx * dx + dy * dy
+        with np.errstate(divide="ignore", invalid="ignore"):
+            inv = np.where(r2 > 0.0, 1.0 / r2, 0.0)
+        fx += m * dx * inv
+        fy += m * dy * inv
+    shape = grid.shape
+    return ForceField(
+        grid=grid,
+        fx=(fx / _TWO_PI).reshape(shape),
+        fy=(fy / _TWO_PI).reshape(shape),
+    )
+
+
+def compute_force_field(density: DensityResult, method: str = "fft") -> ForceField:
+    """Dispatch between the FFT and direct evaluators."""
+    if method == "fft":
+        return force_field_fft(density)
+    if method == "direct":
+        return force_field_direct(density)
+    raise ValueError(f"unknown force-field method {method!r}")
+
+
+def bilinear_sample(
+    grid: Grid, field: np.ndarray, x: np.ndarray, y: np.ndarray
+) -> np.ndarray:
+    """Bilinear interpolation of a bin-center field at points (clamped)."""
+    if field.shape != grid.shape:
+        raise ValueError(f"field shape {field.shape} does not match grid {grid.shape}")
+    gx = (np.asarray(x) - grid.bounds.xlo) / grid.dx - 0.5
+    gy = (np.asarray(y) - grid.bounds.ylo) / grid.dy - 0.5
+    gx = np.clip(gx, 0.0, grid.nx - 1.0)
+    gy = np.clip(gy, 0.0, grid.ny - 1.0)
+    if grid.nx > 1:
+        ix0 = np.minimum(gx.astype(np.int64), grid.nx - 2)
+        tx = gx - ix0
+    else:
+        ix0 = np.zeros(np.shape(gx), dtype=np.int64)
+        tx = np.zeros(np.shape(gx))
+    if grid.ny > 1:
+        iy0 = np.minimum(gy.astype(np.int64), grid.ny - 2)
+        ty = gy - iy0
+    else:
+        iy0 = np.zeros(np.shape(gy), dtype=np.int64)
+        ty = np.zeros(np.shape(gy))
+    ix1 = np.minimum(ix0 + 1, grid.nx - 1)
+    iy1 = np.minimum(iy0 + 1, grid.ny - 1)
+    return (
+        field[iy0, ix0] * (1 - tx) * (1 - ty)
+        + field[iy0, ix1] * tx * (1 - ty)
+        + field[iy1, ix0] * (1 - tx) * ty
+        + field[iy1, ix1] * tx * ty
+    )
+
+
+def divergence(field: ForceField) -> np.ndarray:
+    """Discrete divergence of the field (central differences, interior bins).
+
+    For the exact continuum field, ``div f = k D`` (that is Poisson's
+    equation); tests use this to check the field against its source.
+    """
+    dfx = np.gradient(field.fx, field.grid.dx, axis=1)
+    dfy = np.gradient(field.fy, field.grid.dy, axis=0)
+    return dfx + dfy
+
+
+def curl(field: ForceField) -> np.ndarray:
+    """Discrete curl (z-component).  Requirement 3: the field is curl-free."""
+    dfy_dx = np.gradient(field.fy, field.grid.dx, axis=1)
+    dfx_dy = np.gradient(field.fx, field.grid.dy, axis=0)
+    return dfy_dx - dfx_dy

@@ -1,0 +1,276 @@
+"""The quadratic wire-length system of Section 2.
+
+Nets are expanded into springs between cell centers (plus pin offsets):
+
+* **Clique** (the paper's model): a ``k``-pin net becomes ``k(k-1)/2`` edges
+  of weight ``w_net / k``.
+* **Star** (sparsity fallback for high fan-out nets): one auxiliary movable
+  vertex connected to every pin with weight ``w_net``.  Eliminating the star
+  vertex algebraically recovers exactly the clique above, so the model switch
+  does not change the optimum — only the matrix size/sparsity trade-off.
+
+The equilibrium condition ``C p + d + e = 0`` (Eq. 3) is assembled here in
+the equivalent form ``A x = b + f`` per axis, where ``A`` is symmetric
+positive (semi-)definite, ``b`` collects fixed-cell and pin-offset terms and
+``f`` holds the additional forces.  A tiny center anchor keeps ``A``
+strictly SPD for netlists without fixed cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..netlist import Netlist, Placement
+
+
+@dataclass
+class AssembledSystem:
+    """One placement transformation's linear systems (both axes)."""
+
+    Ax: sp.csr_matrix
+    bx: np.ndarray
+    Ay: sp.csr_matrix
+    by: np.ndarray
+
+    @property
+    def n_vars(self) -> int:
+        return self.Ax.shape[0]
+
+
+class QuadraticSystem:
+    """Sparse-system builder for a fixed netlist.
+
+    Edge structure (which cells connect to which) is precomputed once; only
+    the per-net weights change between placement transformations, so
+    :meth:`assemble` is a cheap vectorized pass.
+    """
+
+    def __init__(self, netlist: Netlist, clique_threshold: int = 20):
+        if clique_threshold < 2:
+            raise ValueError("clique_threshold must be at least 2")
+        self.netlist = netlist
+        self.clique_threshold = clique_threshold
+
+        # Variable layout: movable cells first, then star vertices.
+        self.n_movable = netlist.num_movable
+        self._var_of_cell = np.full(netlist.num_cells, -1, dtype=np.int64)
+        self._var_of_cell[netlist.movable_indices] = np.arange(self.n_movable)
+
+        self._star_nets: List[int] = []
+        self._build_edges()
+
+    # ------------------------------------------------------------------
+    # Edge extraction
+    # ------------------------------------------------------------------
+    def _build_edges(self) -> None:
+        nl = self.netlist
+        # movable-movable edges
+        mm_u: List[int] = []
+        mm_v: List[int] = []
+        mm_net: List[int] = []
+        mm_w: List[float] = []
+        mm_offx: List[float] = []  # (a_u - a_v) in x
+        mm_offy: List[float] = []
+        # movable-fixed edges (v fixed): target coordinate q_v includes offset
+        mf_u: List[int] = []
+        mf_net: List[int] = []
+        mf_w: List[float] = []
+        mf_qx: List[float] = []  # q_v,x - a_u,x
+        mf_qy: List[float] = []
+
+        star_index = self.n_movable
+        star_pin_cells: List[List[int]] = []
+
+        for net in nl.nets:
+            k = net.degree
+            if k < 2:
+                continue
+            if k <= self.clique_threshold:
+                base = net.weight / k
+                pins = net.pins
+                for i in range(k):
+                    for j in range(i + 1, k):
+                        self._add_edge(
+                            pins[i], pins[j], net.index, base,
+                            mm_u, mm_v, mm_net, mm_w, mm_offx, mm_offy,
+                            mf_u, mf_net, mf_w, mf_qx, mf_qy,
+                        )
+            else:
+                # Star expansion: auxiliary vertex <-> every pin, weight w.
+                self._star_nets.append(net.index)
+                star_pin_cells.append([p.cell for p in net.pins])
+                for pin in net.pins:
+                    u = self._var_of_cell[pin.cell]
+                    if u >= 0:
+                        mm_u.append(int(u))
+                        mm_v.append(star_index)
+                        mm_net.append(net.index)
+                        mm_w.append(net.weight)
+                        mm_offx.append(pin.dx)
+                        mm_offy.append(pin.dy)
+                    else:
+                        cell = nl.cells[pin.cell]
+                        # star vertex is the movable endpoint here
+                        mf_u.append(star_index)
+                        mf_net.append(net.index)
+                        mf_w.append(net.weight)
+                        mf_qx.append(cell.x + pin.dx)
+                        mf_qy.append(cell.y + pin.dy)
+                star_index += 1
+
+        self.n_stars = star_index - self.n_movable
+        self.n_vars = self.n_movable + self.n_stars
+        self._star_pin_cells = star_pin_cells
+
+        self.mm_u = np.array(mm_u, dtype=np.int64)
+        self.mm_v = np.array(mm_v, dtype=np.int64)
+        self.mm_net = np.array(mm_net, dtype=np.int64)
+        self.mm_w = np.array(mm_w, dtype=np.float64)
+        self.mm_offx = np.array(mm_offx, dtype=np.float64)
+        self.mm_offy = np.array(mm_offy, dtype=np.float64)
+        self.mf_u = np.array(mf_u, dtype=np.int64)
+        self.mf_net = np.array(mf_net, dtype=np.int64)
+        self.mf_w = np.array(mf_w, dtype=np.float64)
+        self.mf_qx = np.array(mf_qx, dtype=np.float64)
+        self.mf_qy = np.array(mf_qy, dtype=np.float64)
+
+    def _add_edge(
+        self, pin_a, pin_b, net_index, base_w,
+        mm_u, mm_v, mm_net, mm_w, mm_offx, mm_offy,
+        mf_u, mf_net, mf_w, mf_qx, mf_qy,
+    ) -> None:
+        nl = self.netlist
+        ua = self._var_of_cell[pin_a.cell]
+        ub = self._var_of_cell[pin_b.cell]
+        if ua >= 0 and ub >= 0:
+            mm_u.append(int(ua))
+            mm_v.append(int(ub))
+            mm_net.append(net_index)
+            mm_w.append(base_w)
+            mm_offx.append(pin_a.dx - pin_b.dx)
+            mm_offy.append(pin_a.dy - pin_b.dy)
+        elif ua >= 0:
+            cell_b = nl.cells[pin_b.cell]
+            mf_u.append(int(ua))
+            mf_net.append(net_index)
+            mf_w.append(base_w)
+            mf_qx.append(cell_b.x + pin_b.dx - pin_a.dx)
+            mf_qy.append(cell_b.y + pin_b.dy - pin_a.dy)
+        elif ub >= 0:
+            cell_a = nl.cells[pin_a.cell]
+            mf_u.append(int(ub))
+            mf_net.append(net_index)
+            mf_w.append(base_w)
+            mf_qx.append(cell_a.x + pin_a.dx - pin_b.dx)
+            mf_qy.append(cell_a.y + pin_a.dy - pin_b.dy)
+        # fixed-fixed edges are constants and vanish from the gradient
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def assemble(
+        self,
+        net_weights: Optional[np.ndarray] = None,
+        lin_x: Optional[np.ndarray] = None,
+        lin_y: Optional[np.ndarray] = None,
+        anchor_weight: float = 0.0,
+        anchor_xy: Tuple[float, float] = (0.0, 0.0),
+    ) -> AssembledSystem:
+        """Build ``A x = b`` for both axes.
+
+        ``net_weights`` are runtime multipliers per net (timing weights);
+        ``lin_x``/``lin_y`` are the per-axis linearization factors of [14].
+        The anchor adds ``anchor_weight`` to every diagonal entry and pulls
+        toward ``anchor_xy``.
+        """
+        num_nets = self.netlist.num_nets
+        runtime = np.ones(num_nets) if net_weights is None else np.asarray(net_weights)
+        if runtime.shape != (num_nets,):
+            raise ValueError("net_weights has wrong length")
+        fx = runtime if lin_x is None else runtime * np.asarray(lin_x)
+        fy = runtime if lin_y is None else runtime * np.asarray(lin_y)
+
+        Ax, bx = self._assemble_axis(
+            self.mm_w * fx[self.mm_net] if self.mm_w.size else self.mm_w,
+            self.mf_w * fx[self.mf_net] if self.mf_w.size else self.mf_w,
+            self.mm_offx,
+            self.mf_qx,
+            anchor_weight,
+            anchor_xy[0],
+        )
+        Ay, by = self._assemble_axis(
+            self.mm_w * fy[self.mm_net] if self.mm_w.size else self.mm_w,
+            self.mf_w * fy[self.mf_net] if self.mf_w.size else self.mf_w,
+            self.mm_offy,
+            self.mf_qy,
+            anchor_weight,
+            anchor_xy[1],
+        )
+        return AssembledSystem(Ax=Ax, bx=bx, Ay=Ay, by=by)
+
+    def _assemble_axis(
+        self,
+        w_mm: np.ndarray,
+        w_mf: np.ndarray,
+        off_mm: np.ndarray,
+        q_mf: np.ndarray,
+        anchor_weight: float,
+        anchor: float,
+    ) -> Tuple[sp.csr_matrix, np.ndarray]:
+        n = self.n_vars
+        rows = np.concatenate([self.mm_u, self.mm_v, self.mm_u, self.mm_v, self.mf_u])
+        cols = np.concatenate([self.mm_u, self.mm_v, self.mm_v, self.mm_u, self.mf_u])
+        vals = np.concatenate([w_mm, w_mm, -w_mm, -w_mm, w_mf])
+        A = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+        if anchor_weight > 0.0:
+            A = A + sp.identity(n, format="csr") * anchor_weight
+
+        b = np.zeros(n)
+        # edge cost w (x_u + a_u - x_v - a_v)^2 with off = a_u - a_v:
+        #   d/dx_u = 0  =>  row u gains -w*off on the rhs, row v gains +w*off
+        if self.mm_u.size:
+            np.add.at(b, self.mm_u, -w_mm * off_mm)
+            np.add.at(b, self.mm_v, w_mm * off_mm)
+        # fixed edge cost w (x_u - q)^2  =>  row u gains +w*q
+        if self.mf_u.size:
+            np.add.at(b, self.mf_u, w_mf * q_mf)
+        if anchor_weight > 0.0:
+            b += anchor_weight * anchor
+        return A, b
+
+    # ------------------------------------------------------------------
+    # Variable-vector <-> placement conversion
+    # ------------------------------------------------------------------
+    def vars_from_placement(self, placement: Placement) -> Tuple[np.ndarray, np.ndarray]:
+        """Initial variable vectors (movable cells + star centroids)."""
+        nl = self.netlist
+        x = np.empty(self.n_vars)
+        y = np.empty(self.n_vars)
+        x[: self.n_movable] = placement.x[nl.movable_indices]
+        y[: self.n_movable] = placement.y[nl.movable_indices]
+        for s, cells in enumerate(self._star_pin_cells):
+            x[self.n_movable + s] = float(np.mean(placement.x[cells]))
+            y[self.n_movable + s] = float(np.mean(placement.y[cells]))
+        return x, y
+
+    def placement_from_vars(
+        self, x: np.ndarray, y: np.ndarray, template: Placement
+    ) -> Placement:
+        """New placement with movable coordinates taken from the solution."""
+        out = template.copy()
+        out.x[self.netlist.movable_indices] = x[: self.n_movable]
+        out.y[self.netlist.movable_indices] = y[: self.n_movable]
+        out.reset_fixed()
+        return out
+
+    def forces_to_vars(self, fx_cells: np.ndarray, fy_cells: np.ndarray):
+        """Expand per-movable-cell forces to the variable vector (stars get 0)."""
+        fx = np.zeros(self.n_vars)
+        fy = np.zeros(self.n_vars)
+        fx[: self.n_movable] = fx_cells
+        fy[: self.n_movable] = fy_cells
+        return fx, fy

@@ -1,0 +1,113 @@
+"""Sparse linear solvers for the placement systems.
+
+The paper solves ``C p + d + e = 0`` with a preconditioned conjugate-gradient
+method (Section 4.1).  We implement Jacobi-preconditioned CG ourselves (the
+matrix is symmetric positive definite once fixed connections or the center
+anchor are present) and cross-check against scipy's CG in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+
+@dataclass
+class SolveResult:
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+
+
+def conjugate_gradient(
+    A: sp.spmatrix,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-8,
+    max_iter: int = 1000,
+) -> SolveResult:
+    """Jacobi-preconditioned CG for SPD systems.
+
+    Terminates when ``||r|| <= tol * ||b||`` (or ``||r|| <= tol`` for a zero
+    right-hand side).
+    """
+    A = A.tocsr()
+    n = A.shape[0]
+    if A.shape[0] != A.shape[1]:
+        raise ValueError(f"matrix is {A.shape}, expected square")
+    if b.shape != (n,):
+        raise ValueError(f"rhs has shape {b.shape}, expected ({n},)")
+
+    diag = A.diagonal()
+    if np.any(diag <= 0):
+        raise ValueError("matrix has non-positive diagonal entries; not SPD")
+    inv_diag = 1.0 / diag
+
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    r = b - A @ x
+    target = tol * max(float(np.linalg.norm(b)), 1e-300)
+    z = inv_diag * r
+    p = z.copy()
+    rz = float(r @ z)
+    res_norm = float(np.linalg.norm(r))
+    iterations = 0
+    while res_norm > target and iterations < max_iter:
+        Ap = A @ p
+        pAp = float(p @ Ap)
+        if pAp <= 0.0:
+            # Numerical breakdown; the matrix is not SPD enough to continue.
+            break
+        alpha = rz / pAp
+        x += alpha * p
+        r -= alpha * Ap
+        z = inv_diag * r
+        rz_next = float(r @ z)
+        beta = rz_next / rz
+        rz = rz_next
+        p = z + beta * p
+        res_norm = float(np.linalg.norm(r))
+        iterations += 1
+    return SolveResult(
+        x=x,
+        iterations=iterations,
+        residual_norm=res_norm,
+        converged=res_norm <= target,
+    )
+
+
+def solve_spd(
+    A: sp.spmatrix,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-8,
+    max_iter: int = 1000,
+) -> np.ndarray:
+    """Solve an SPD system, falling back to a direct solve if CG stalls."""
+    result = conjugate_gradient(A, b, x0=x0, tol=tol, max_iter=max_iter)
+    if result.converged:
+        return result.x
+    return spla.spsolve(A.tocsc(), b)
+
+
+def solve_kkt(
+    C: sp.spmatrix,
+    d: np.ndarray,
+    A: sp.spmatrix,
+    u: np.ndarray,
+) -> np.ndarray:
+    """Solve ``min 1/2 x^T C x + d^T x  s.t.  A x = u`` via the KKT system.
+
+    Used by the GORDIAN baseline for its center-of-gravity constraints.
+    Returns the primal solution only.
+    """
+    n = C.shape[0]
+    m = A.shape[0]
+    kkt = sp.bmat([[C, A.T], [A, None]], format="csc")
+    rhs = np.concatenate([-d, u])
+    solution = spla.spsolve(kkt, rhs)
+    return solution[:n]

@@ -1,0 +1,25 @@
+"""ECO / incremental placement and logic-synthesis interaction."""
+
+from .incremental import (
+    EcoResult,
+    NetlistDelta,
+    eco_place,
+    transfer_placement,
+)
+from .sizing import (
+    GateSizingOptimizer,
+    SizingConfig,
+    SizingResult,
+    SizingRound,
+)
+
+__all__ = [
+    "EcoResult",
+    "NetlistDelta",
+    "eco_place",
+    "transfer_placement",
+    "GateSizingOptimizer",
+    "SizingConfig",
+    "SizingResult",
+    "SizingRound",
+]

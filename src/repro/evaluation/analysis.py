@@ -1,0 +1,119 @@
+"""Run analysis: placement summaries, comparisons, JSON export.
+
+Glue for experiment bookkeeping: summarize a placement into one flat record
+(wire lengths, distribution, optional timing), diff two placements, and
+serialize records to JSON for external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..geometry import PlacementRegion
+from ..netlist import Placement
+from .overlap import distribution_stats, total_overlap
+from .wirelength import hpwl_meters, mst_wirelength, quadratic_wirelength
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class PlacementSummary:
+    """Flat quality record of one placement."""
+
+    circuit: str
+    cells: int
+    movable: int
+    nets: int
+    hpwl_m: float
+    mst_m: float
+    quadratic_um2: float
+    overlap_um2: float
+    max_density: float
+    empty_square_ratio: float
+    max_delay_ns: Optional[float] = None
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+
+def summarize_placement(
+    placement: Placement,
+    region: PlacementRegion,
+    with_timing: bool = False,
+) -> PlacementSummary:
+    """Collect all headline metrics of a placement in one pass."""
+    nl = placement.netlist
+    stats = distribution_stats(placement, region)
+    max_delay = None
+    if with_timing:
+        from ..timing import StaticTimingAnalyzer
+
+        max_delay = StaticTimingAnalyzer(nl).analyze(placement).max_delay_ns
+    return PlacementSummary(
+        circuit=nl.name,
+        cells=nl.num_cells,
+        movable=nl.num_movable,
+        nets=nl.num_nets,
+        hpwl_m=hpwl_meters(placement),
+        mst_m=mst_wirelength(placement) / 1.0e6,
+        quadratic_um2=quadratic_wirelength(placement),
+        overlap_um2=total_overlap(placement),
+        max_density=stats.max_density,
+        empty_square_ratio=stats.empty_square_ratio,
+        max_delay_ns=max_delay,
+    )
+
+
+@dataclass(frozen=True)
+class PlacementDiff:
+    """How far apart two placements of the same netlist are."""
+
+    mean_displacement: float
+    max_displacement: float
+    rms_displacement: float
+    moved_fraction: float  # cells displaced by more than one mean cell side
+    hpwl_delta_percent: float
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+
+def compare_placements(a: Placement, b: Placement) -> PlacementDiff:
+    """Displacement-field and wire-length comparison (same netlist)."""
+    if a.netlist is not b.netlist and a.netlist.num_cells != b.netlist.num_cells:
+        raise ValueError("placements are for different netlists")
+    nl = a.netlist
+    movable = nl.movable_indices
+    d = b.displacement_from(a)[movable]
+    if d.size == 0:
+        raise ValueError("no movable cells to compare")
+    threshold = float(np.sqrt(nl.average_movable_area()))
+    base = hpwl_meters(a)
+    delta = 100.0 * (hpwl_meters(b) - base) / base if base else 0.0
+    return PlacementDiff(
+        mean_displacement=float(d.mean()),
+        max_displacement=float(d.max()),
+        rms_displacement=float(np.sqrt((d**2).mean())),
+        moved_fraction=float((d > threshold).mean()),
+        hpwl_delta_percent=delta,
+    )
+
+
+def save_summary_json(
+    summary: Union[PlacementSummary, PlacementDiff], path: PathLike
+) -> None:
+    """Write a summary/diff record as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(summary.to_dict(), indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def load_summary_json(path: PathLike) -> Dict:
+    """Read a record written by :func:`save_summary_json`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,144 @@
+"""Overlap and distribution quality metrics.
+
+The global placer's job (Section 3) is to remove overlaps and distribute
+cells evenly; these metrics quantify both: pairwise overlap area, binned
+density overflow, and the paper's stopping-criterion quantity — the largest
+empty square relative to the average cell area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..geometry import Grid, PlacementRegion, largest_empty_square_side
+from ..netlist import Placement
+
+
+def total_overlap(placement: Placement, movable_only: bool = True) -> float:
+    """Sum of pairwise overlap areas via a sweep over sorted x-intervals.
+
+    O(n^2) in the worst case but pruned by x-sorting; fine up to tens of
+    thousands of cells for evaluation purposes.
+    """
+    nl = placement.netlist
+    indices = nl.movable_indices if movable_only else np.arange(nl.num_cells)
+    if indices.size < 2:
+        return 0.0
+    xlo = placement.x[indices] - nl.widths[indices] / 2.0
+    xhi = placement.x[indices] + nl.widths[indices] / 2.0
+    ylo = placement.y[indices] - nl.heights[indices] / 2.0
+    yhi = placement.y[indices] + nl.heights[indices] / 2.0
+    order = np.argsort(xlo, kind="stable")
+    xlo, xhi, ylo, yhi = xlo[order], xhi[order], ylo[order], yhi[order]
+    total = 0.0
+    n = len(order)
+    for i in range(n):
+        j = i + 1
+        while j < n and xlo[j] < xhi[i]:
+            w = min(xhi[i], xhi[j]) - xlo[j]
+            h = min(yhi[i], yhi[j]) - max(ylo[i], ylo[j])
+            if w > 0.0 and h > 0.0:
+                total += w * h
+            j += 1
+    return total
+
+
+def overlap_ratio(placement: Placement) -> float:
+    """Pairwise overlap area normalized by total movable cell area."""
+    area = placement.netlist.movable_area()
+    if area == 0.0:
+        return 0.0
+    return total_overlap(placement) / area
+
+
+def occupancy_map(
+    placement: Placement,
+    region: PlacementRegion,
+    grid: Optional[Grid] = None,
+    target_bin: Optional[float] = None,
+) -> np.ndarray:
+    """Covered area per bin from all cells (fixed cells included)."""
+    nl = placement.netlist
+    if grid is None:
+        if target_bin is None:
+            target_bin = default_bin_side(placement, region)
+        grid = Grid.square_bins(region.bounds, target_bin)
+    xlo, ylo = placement.lower_left()
+    return grid.paint_rects(xlo, ylo, nl.widths, nl.heights)
+
+
+def default_bin_side(placement: Placement, region: PlacementRegion) -> float:
+    """Bin side ~ the average movable cell dimension, clamped to a sane grid."""
+    nl = placement.netlist
+    if nl.num_movable == 0:
+        return max(region.width, region.height) / 16.0
+    avg_side = float(np.sqrt(nl.average_movable_area()))
+    # Keep the grid between 8x8 and 512x512.
+    side = min(max(avg_side, max(region.width, region.height) / 512.0),
+               min(region.width, region.height) / 8.0)
+    return max(side, 1e-9)
+
+
+@dataclass(frozen=True)
+class DistributionStats:
+    """Summary of how evenly cells fill the region."""
+
+    max_density: float  # peak bin occupancy / bin area
+    mean_density: float
+    overflow_area: float  # total area above 100% bin capacity
+    largest_empty_square_area: float
+    average_cell_area: float
+
+    @property
+    def empty_square_ratio(self) -> float:
+        """Largest empty square area over average cell area (stop at <= 4)."""
+        if self.average_cell_area == 0.0:
+            return 0.0
+        return self.largest_empty_square_area / self.average_cell_area
+
+
+def distribution_stats(
+    placement: Placement,
+    region: PlacementRegion,
+    target_bin: Optional[float] = None,
+) -> DistributionStats:
+    """Density and emptiness statistics on a square-bin grid."""
+    if target_bin is None:
+        target_bin = default_bin_side(placement, region)
+    grid = Grid.square_bins(region.bounds, target_bin)
+    occupancy = occupancy_map(placement, region, grid=grid)
+    density = occupancy / grid.bin_area
+    overflow = np.maximum(occupancy - grid.bin_area, 0.0).sum()
+    bin_side = min(grid.dx, grid.dy)
+    empty_side = largest_empty_square_side(
+        occupancy, bin_side, tol_area=1e-9 * grid.bin_area
+    )
+    return DistributionStats(
+        max_density=float(density.max()),
+        mean_density=float(density.mean()),
+        overflow_area=float(overflow),
+        largest_empty_square_area=empty_side * empty_side,
+        average_cell_area=(
+            placement.netlist.average_movable_area()
+            if placement.netlist.num_movable
+            else 0.0
+        ),
+    )
+
+
+def is_evenly_distributed(
+    placement: Placement,
+    region: PlacementRegion,
+    max_empty_square_cells: float = 4.0,
+    target_bin: Optional[float] = None,
+) -> bool:
+    """The paper's stopping criterion (Section 4.2).
+
+    True when no empty square larger than ``max_empty_square_cells`` times the
+    average cell area exists inside the placement area.
+    """
+    stats = distribution_stats(placement, region, target_bin=target_bin)
+    return stats.empty_square_ratio <= max_empty_square_cells

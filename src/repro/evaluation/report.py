@@ -1,0 +1,70 @@
+"""Plain-text result tables in the style of the paper's Tables 1-4."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cellish = Union[str, int, float, None]
+
+
+def _fmt(value: Cellish, float_digits: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cellish]],
+    title: Optional[str] = None,
+    float_digits: int = 3,
+) -> str:
+    """Aligned ASCII table; floats formatted to *float_digits* places."""
+    text_rows: List[List[str]] = [
+        [_fmt(cell, float_digits) for cell in row] for row in rows
+    ]
+    header_row = [str(h) for h in headers]
+    widths = [len(h) for h in header_row]
+    for row in text_rows:
+        if len(row) != len(header_row):
+            raise ValueError(
+                f"row width {len(row)} does not match {len(header_row)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(header_row))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cellish]],
+    float_digits: int = 3,
+) -> str:
+    """GitHub-flavored markdown table (for EXPERIMENTS.md)."""
+    text_rows = [[_fmt(cell, float_digits) for cell in row] for row in rows]
+    out = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in text_rows:
+        out.append("| " + " | ".join(row) + " |")
+    return "\n".join(out)
+
+
+def percent_improvement(baseline: float, ours: float) -> float:
+    """Positive when *ours* is smaller (better), as in Table 2."""
+    if baseline == 0.0:
+        raise ValueError("baseline metric is zero")
+    return 100.0 * (baseline - ours) / baseline

@@ -1,0 +1,5 @@
+"""Mixed block/cell placement and floorplanning."""
+
+from .mixed import FloorplanResult, MixedSizePlacer
+
+__all__ = ["FloorplanResult", "MixedSizePlacer"]

@@ -1,0 +1,25 @@
+"""Geometry primitives: rectangles, rows, placement regions, bin grids."""
+
+from .rect import Rect, bounding_box, total_overlap_area
+from .region import PlacementRegion
+from .rows import Row, make_rows, nearest_row
+from .grid import (
+    Grid,
+    summed_area_table,
+    window_sums,
+    largest_empty_square_side,
+)
+
+__all__ = [
+    "Rect",
+    "bounding_box",
+    "total_overlap_area",
+    "PlacementRegion",
+    "Row",
+    "make_rows",
+    "nearest_row",
+    "Grid",
+    "summed_area_table",
+    "window_sums",
+    "largest_empty_square_side",
+]

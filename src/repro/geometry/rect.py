@@ -1,0 +1,177 @@
+"""Axis-aligned rectangle primitive used throughout the placer.
+
+All geometry in this library lives in a continuous 2-D plane measured in
+microns.  A :class:`Rect` is a half-open box ``[xlo, xhi) x [ylo, yhi)`` in
+spirit, although overlap computations treat boundaries as measure-zero so the
+distinction only matters for point-containment queries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle given by its lower-left corner and size."""
+
+    xlo: float
+    ylo: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width < 0 or self.height < 0:
+            raise ValueError(
+                f"Rect requires non-negative size, got {self.width} x {self.height}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bounds(cls, xlo: float, ylo: float, xhi: float, yhi: float) -> "Rect":
+        """Build a rectangle from corner coordinates."""
+        return cls(xlo, ylo, xhi - xlo, yhi - ylo)
+
+    @classmethod
+    def from_center(cls, cx: float, cy: float, width: float, height: float) -> "Rect":
+        """Build a rectangle from its center point and size."""
+        return cls(cx - width / 2.0, cy - height / 2.0, width, height)
+
+    # ------------------------------------------------------------------
+    # Derived coordinates
+    # ------------------------------------------------------------------
+    @property
+    def xhi(self) -> float:
+        return self.xlo + self.width
+
+    @property
+    def yhi(self) -> float:
+        return self.ylo + self.height
+
+    @property
+    def cx(self) -> float:
+        return self.xlo + self.width / 2.0
+
+    @property
+    def cy(self) -> float:
+        return self.ylo + self.height / 2.0
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.cx, self.cy)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def half_perimeter(self) -> float:
+        return self.width + self.height
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return self.width == 0.0 or self.height == 0.0
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True if ``(x, y)`` lies in the half-open box [lo, hi)."""
+        return self.xlo <= x < self.xhi and self.ylo <= y < self.yhi
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if *other* lies entirely inside this rectangle (closed)."""
+        return (
+            self.xlo <= other.xlo
+            and self.ylo <= other.ylo
+            and other.xhi <= self.xhi
+            and other.yhi <= self.yhi
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True if the open interiors intersect (shared edges don't count)."""
+        return (
+            self.xlo < other.xhi
+            and other.xlo < self.xhi
+            and self.ylo < other.yhi
+            and other.ylo < self.yhi
+        )
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The overlapping region, or ``None`` if the interiors are disjoint."""
+        xlo = max(self.xlo, other.xlo)
+        ylo = max(self.ylo, other.ylo)
+        xhi = min(self.xhi, other.xhi)
+        yhi = min(self.yhi, other.yhi)
+        if xhi <= xlo or yhi <= ylo:
+            return None
+        return Rect.from_bounds(xlo, ylo, xhi, yhi)
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Area of the intersection (0.0 when disjoint)."""
+        w = min(self.xhi, other.xhi) - max(self.xlo, other.xlo)
+        h = min(self.yhi, other.yhi) - max(self.ylo, other.ylo)
+        if w <= 0.0 or h <= 0.0:
+            return 0.0
+        return w * h
+
+    def union_bounds(self, other: "Rect") -> "Rect":
+        """Smallest rectangle covering both."""
+        return Rect.from_bounds(
+            min(self.xlo, other.xlo),
+            min(self.ylo, other.ylo),
+            max(self.xhi, other.xhi),
+            max(self.yhi, other.yhi),
+        )
+
+    def expanded(self, margin: float) -> "Rect":
+        """Rectangle grown by *margin* on every side (shrunk if negative)."""
+        new_w = self.width + 2.0 * margin
+        new_h = self.height + 2.0 * margin
+        if new_w < 0.0 or new_h < 0.0:
+            raise ValueError(f"margin {margin} would invert rect {self}")
+        return Rect(self.xlo - margin, self.ylo - margin, new_w, new_h)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.xlo + dx, self.ylo + dy, self.width, self.height)
+
+    def clamp_point(self, x: float, y: float) -> Tuple[float, float]:
+        """Nearest point inside the rectangle (closed)."""
+        return (min(max(x, self.xlo), self.xhi), min(max(y, self.ylo), self.yhi))
+
+    def distance_to_point(self, x: float, y: float) -> float:
+        """Euclidean distance from ``(x, y)`` to the rectangle (0 inside)."""
+        px, py = self.clamp_point(x, y)
+        return math.hypot(x - px, y - py)
+
+
+def bounding_box(rects: Iterable[Rect]) -> Rect:
+    """Smallest rectangle covering all *rects*; raises on empty input."""
+    it: Iterator[Rect] = iter(rects)
+    try:
+        first = next(it)
+    except StopIteration:
+        raise ValueError("bounding_box of no rectangles") from None
+    xlo, ylo, xhi, yhi = first.xlo, first.ylo, first.xhi, first.yhi
+    for r in it:
+        xlo = min(xlo, r.xlo)
+        ylo = min(ylo, r.ylo)
+        xhi = max(xhi, r.xhi)
+        yhi = max(yhi, r.yhi)
+    return Rect.from_bounds(xlo, ylo, xhi, yhi)
+
+
+def total_overlap_area(rects: Iterable[Rect]) -> float:
+    """Sum of pairwise overlap areas (O(n^2); for tests and small inputs)."""
+    rect_list = list(rects)
+    total = 0.0
+    for i, a in enumerate(rect_list):
+        for b in rect_list[i + 1 :]:
+            total += a.overlap_area(b)
+    return total

@@ -1,0 +1,86 @@
+"""The placement region: the chip area cells must be distributed over.
+
+The paper describes the placement area as a rectangle of width ``W`` and
+height ``H`` whose area function ``A(x, y)`` supplies free space to the
+density model (Eq. 4).  For standard-cell designs the region is additionally
+divided into horizontal rows of fixed pitch; the row structure is consumed by
+the legalizers and the row-based annealer but is irrelevant to the global
+placer, which treats the region as a homogeneous rectangle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .rect import Rect
+from .rows import Row, make_rows
+
+
+@dataclass(frozen=True)
+class PlacementRegion:
+    """Rectangular placement area, optionally with standard-cell rows.
+
+    Parameters
+    ----------
+    bounds:
+        The chip rectangle.  ``bounds.width`` is the paper's ``W`` and
+        ``bounds.height`` its ``H``.
+    rows:
+        Standard-cell rows covering (part of) the region.  Empty for pure
+        block/floorplanning designs.
+    """
+
+    bounds: Rect
+    rows: List[Row] = field(default_factory=list)
+
+    @classmethod
+    def standard_cell(
+        cls,
+        width: float,
+        height: float,
+        row_height: float,
+        xlo: float = 0.0,
+        ylo: float = 0.0,
+    ) -> "PlacementRegion":
+        """A region fully tiled with rows of pitch *row_height*."""
+        bounds = Rect(xlo, ylo, width, height)
+        return cls(bounds=bounds, rows=make_rows(bounds, row_height))
+
+    @property
+    def width(self) -> float:
+        return self.bounds.width
+
+    @property
+    def height(self) -> float:
+        return self.bounds.height
+
+    @property
+    def area(self) -> float:
+        return self.bounds.area
+
+    @property
+    def half_perimeter(self) -> float:
+        """``W + H`` — the paper's reference length for force scaling."""
+        return self.bounds.half_perimeter
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def row_height(self) -> float:
+        if not self.rows:
+            raise ValueError("region has no rows")
+        return self.rows[0].height
+
+    def row_capacity(self) -> float:
+        """Total placeable width over all rows."""
+        return sum(row.width for row in self.rows)
+
+    def clamp(self, x: float, y: float) -> tuple:
+        """Nearest point inside the region."""
+        return self.bounds.clamp_point(x, y)
+
+    def contains(self, rect: Rect) -> bool:
+        return self.bounds.contains_rect(rect)

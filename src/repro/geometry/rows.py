@@ -1,0 +1,68 @@
+"""Standard-cell rows.
+
+Rows are horizontal strips of fixed height into which the legalizer snaps
+cells.  The global placer ignores them; TimberWolf-style annealing and the
+Domino-style final placement operate on them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .rect import Rect
+
+
+@dataclass(frozen=True)
+class Row:
+    """One standard-cell row."""
+
+    index: int
+    xlo: float
+    y: float  # bottom edge of the row
+    width: float
+    height: float
+
+    @property
+    def xhi(self) -> float:
+        return self.xlo + self.width
+
+    @property
+    def yhi(self) -> float:
+        return self.y + self.height
+
+    @property
+    def center_y(self) -> float:
+        return self.y + self.height / 2.0
+
+    @property
+    def bounds(self) -> Rect:
+        return Rect(self.xlo, self.y, self.width, self.height)
+
+
+def make_rows(bounds: Rect, row_height: float) -> List[Row]:
+    """Tile *bounds* bottom-up with rows of pitch *row_height*.
+
+    A trailing strip narrower than one pitch is left uncovered, matching how
+    real floorplans drop fractional rows.
+    """
+    if row_height <= 0:
+        raise ValueError(f"row_height must be positive, got {row_height}")
+    count = int(bounds.height / row_height + 1e-9)
+    return [
+        Row(
+            index=i,
+            xlo=bounds.xlo,
+            y=bounds.ylo + i * row_height,
+            width=bounds.width,
+            height=row_height,
+        )
+        for i in range(count)
+    ]
+
+
+def nearest_row(rows: List[Row], y: float) -> Row:
+    """The row whose vertical center is closest to *y*."""
+    if not rows:
+        raise ValueError("no rows")
+    return min(rows, key=lambda row: abs(row.center_y - y))

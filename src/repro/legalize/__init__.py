@@ -1,0 +1,60 @@
+"""Legalization and final placement (the flow role of Domino [17])."""
+
+from typing import Optional, Sequence
+
+from ..geometry import PlacementRegion, Rect
+from ..netlist import Placement
+from .segments import Segment, build_segments, total_capacity
+from .abacus import AbacusLegalizer, LegalizationResult
+from .greedy import TetrisLegalizer
+from .detailed import DetailedImprover, ImprovementResult
+from .domino import DominoImprover
+
+
+def final_placement(
+    placement: Placement,
+    region: PlacementRegion,
+    obstacles: Sequence[Rect] = (),
+    improver_passes: int = 3,
+    legalizer: str = "abacus",
+    use_domino: bool = False,
+) -> Placement:
+    """Global placement -> legal, locally optimized placement.
+
+    This is the "final placement step" the paper applies after global
+    placement (Section 6.1 uses Domino): Abacus-style legalization followed
+    by greedy exact-delta swap improvement, optionally topped by the
+    Domino-style window assignment (``use_domino=True``) which untangles
+    permutations beyond the reach of pairwise swaps.
+    """
+    if legalizer == "abacus":
+        legal = AbacusLegalizer(region, obstacles=obstacles).legalize(placement)
+    elif legalizer == "tetris":
+        legal = TetrisLegalizer(region, obstacles=obstacles).legalize(placement)
+    else:
+        raise ValueError(f"unknown legalizer {legalizer!r}")
+    if not legal.success:
+        raise RuntimeError(
+            f"legalization failed for {len(legal.failed_cells)} cells"
+        )
+    improved = DetailedImprover(region, max_passes=improver_passes).improve(
+        legal.placement
+    )
+    result = improved.placement
+    if use_domino:
+        result = DominoImprover(region, obstacles=obstacles).improve(result).placement
+    return result
+
+
+__all__ = [
+    "Segment",
+    "build_segments",
+    "total_capacity",
+    "AbacusLegalizer",
+    "TetrisLegalizer",
+    "LegalizationResult",
+    "DetailedImprover",
+    "DominoImprover",
+    "ImprovementResult",
+    "final_placement",
+]

@@ -1,0 +1,224 @@
+"""Abacus-style legalization (our stand-in for the Domino final placer [17]).
+
+Cells are processed in order of their global x-coordinate; each is
+tentatively inserted into candidate segments near its global position, and
+the segment with the lowest quadratic displacement cost wins.  Within a
+segment the classic cluster-collapsing recurrence places cells optimally for
+weighted quadratic displacement given the insertion order.
+
+The role in the flow matches Domino's: turn a nearly-overlap-free global
+placement into a perfectly legal row placement while moving each cell as
+little as possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import PlacementRegion, Rect
+from ..netlist import CellKind, Placement
+from .segments import Segment, build_segments
+
+_INFEASIBLE = float("inf")
+
+
+@dataclass
+class _Cluster:
+    """A maximal group of touching cells placed as one rigid block."""
+
+    x: float  # left edge
+    e: float  # total weight
+    q: float  # sum of e_i * (x_i_desired - offset_i)
+    w: float  # total width
+    cells: List[int] = field(default_factory=list)
+    offsets: List[float] = field(default_factory=list)  # cell offset in cluster
+
+
+class _SegmentState:
+    """Mutable cluster list of one segment."""
+
+    def __init__(self, segment: Segment):
+        self.segment = segment
+        self.clusters: List[_Cluster] = []
+        self.used = 0.0
+
+    def free(self) -> float:
+        return self.segment.width - self.used
+
+    def append_cell(
+        self, cell_index: int, width: float, weight: float, x_desired: float
+    ) -> None:
+        """Abacus PlaceRow step: append a cell and collapse clusters."""
+        seg = self.segment
+        cluster = _Cluster(
+            x=min(max(x_desired, seg.xlo), seg.xhi - width),
+            e=weight,
+            q=weight * x_desired,
+            w=width,
+            cells=[cell_index],
+            offsets=[0.0],
+        )
+        self.clusters.append(cluster)
+        self._collapse()
+        self.used += width
+
+    def _collapse(self) -> None:
+        while True:
+            c = self.clusters[-1]
+            # Optimal position, clamped into the segment.
+            c.x = min(max(c.q / c.e, self.segment.xlo), self.segment.xhi - c.w)
+            if len(self.clusters) < 2:
+                return
+            prev = self.clusters[-2]
+            if prev.x + prev.w <= c.x + 1e-12:
+                return
+            # Merge c into prev.
+            for cell, off in zip(c.cells, c.offsets):
+                prev.cells.append(cell)
+                prev.offsets.append(prev.w + off)
+            prev.q += c.q - c.e * prev.w
+            prev.e += c.e
+            prev.w += c.w
+            self.clusters.pop()
+
+    def trial_cost(
+        self, width: float, weight: float, x_desired: float, y_cost: float
+    ) -> float:
+        """Cost of appending a cell, without mutating the segment.
+
+        Simulates the collapse on lightweight copies of the tail clusters
+        and returns the total *incremental* quadratic displacement cost in x
+        for all moved cells plus the given fixed y-cost.
+        """
+        if width > self.free() + 1e-9:
+            return _INFEASIBLE
+        seg = self.segment
+        # Work on scalar copies: (x, e, q, w) tuples.
+        tail: List[Tuple[float, float, float, float]] = [
+            (c.x, c.e, c.q, c.w) for c in self.clusters
+        ]
+        tail.append((0.0, weight, weight * x_desired, width))
+        idx = len(tail) - 1
+        while True:
+            x, e, q, w = tail[idx]
+            x = min(max(q / e, seg.xlo), seg.xhi - w)
+            tail[idx] = (x, e, q, w)
+            if idx == 0:
+                break
+            px, pe, pq, pw = tail[idx - 1]
+            if px + pw <= x + 1e-12:
+                break
+            tail[idx - 1] = (px, pe + e, pq + q - e * pw, pw + w)
+            tail.pop()
+            idx -= 1
+        # The appended cell ends at the right edge of the final cluster.
+        x, e, q, w = tail[idx]
+        new_cell_x = x + w - width
+        return weight * (new_cell_x - x_desired) ** 2 + y_cost
+
+    def positions(self) -> List[Tuple[int, float]]:
+        """(cell_index, left-edge x) for every placed cell."""
+        out = []
+        for c in self.clusters:
+            for cell, off in zip(c.cells, c.offsets):
+                out.append((cell, c.x + off))
+        return out
+
+
+@dataclass
+class LegalizationResult:
+    """A legal placement plus displacement statistics."""
+
+    placement: Placement
+    mean_displacement: float
+    max_displacement: float
+    failed_cells: List[int] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        return not self.failed_cells
+
+
+class AbacusLegalizer:
+    """Row legalizer with obstacle-aware segments."""
+
+    def __init__(
+        self,
+        region: PlacementRegion,
+        obstacles: Sequence[Rect] = (),
+        row_search_radius: int = 6,
+    ):
+        self.region = region
+        self.obstacles = list(obstacles)
+        self.row_search_radius = row_search_radius
+        self.segments = build_segments(region, self.obstacles)
+        if not self.segments:
+            raise ValueError("no free segments to legalize into")
+
+    def legalize(self, placement: Placement) -> LegalizationResult:
+        """Legalize all movable standard cells of the placement.
+
+        Movable blocks are *not* legalized here (the floorplanning flow
+        places them first and passes them in as obstacles); their positions
+        are preserved.
+        """
+        nl = placement.netlist
+        states = [_SegmentState(seg) for seg in self.segments]
+        seg_center_y = np.array([s.center_y for s in self.segments])
+
+        targets = [
+            i
+            for i in nl.movable_indices
+            if nl.cells[i].kind is not CellKind.BLOCK
+        ]
+        # Left-to-right sweep over desired x positions.
+        targets.sort(key=lambda i: placement.x[i] - nl.widths[i] / 2.0)
+
+        out = placement.copy()
+        failed: List[int] = []
+        for i in targets:
+            width = float(nl.widths[i])
+            weight = float(nl.areas[i])
+            x_desired = float(placement.x[i] - width / 2.0)
+            y_desired = float(placement.y[i])
+            order = np.argsort(np.abs(seg_center_y - y_desired), kind="stable")
+            best: Optional[Tuple[float, int]] = None
+            rows_tried = 0
+            last_row_y = None
+            for si in order:
+                state = states[si]
+                row_y = state.segment.center_y
+                if last_row_y is None or row_y != last_row_y:
+                    rows_tried += 1
+                    last_row_y = row_y
+                if rows_tried > self.row_search_radius and best is not None:
+                    break
+                y_cost = weight * (row_y - y_desired) ** 2
+                if best is not None and y_cost >= best[0]:
+                    continue
+                cost = state.trial_cost(width, weight, x_desired, y_cost)
+                if cost < (best[0] if best else _INFEASIBLE):
+                    best = (cost, int(si))
+            if best is None:
+                failed.append(i)
+                continue
+            state = states[best[1]]
+            state.append_cell(i, width, weight, x_desired)
+
+        for state in states:
+            row_cy = state.segment.center_y
+            for cell_index, left_x in state.positions():
+                out.x[cell_index] = left_x + nl.widths[cell_index] / 2.0
+                out.y[cell_index] = row_cy
+        out.reset_fixed()
+        moved = out.displacement_from(placement)
+        movable = nl.movable_indices
+        return LegalizationResult(
+            placement=out,
+            mean_displacement=float(moved[movable].mean()) if movable.size else 0.0,
+            max_displacement=float(moved[movable].max()) if movable.size else 0.0,
+            failed_cells=failed,
+        )

@@ -1,0 +1,268 @@
+"""Detailed placement improvement on a legal row placement.
+
+Greedy, legality-preserving local moves in the spirit of the Domino final
+placer [17] (which used network-flow subproblems; we use exact-delta greedy
+swaps, which serve the same role in the flow at a fraction of the code):
+
+* adjacent-pair swaps within a row (repacked in place, always legal);
+* cross-row swaps between x-aligned cells of nearby rows, accepted only
+  when both cells fit into each other's free span;
+* optimal sliding: each cell moves to the median of its nets' other-pin
+  intervals (the 1-D HPWL optimum), clamped into its free span.
+
+Every move is evaluated by the exact HPWL delta of the affected nets and
+accepted only if it improves, so the pass monotonically decreases HPWL.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..evaluation.wirelength import net_hpwl, pin_arrays
+from ..geometry import PlacementRegion
+from ..netlist import CellKind, Placement
+
+
+@dataclass
+class ImprovementResult:
+    placement: Placement
+    passes: int
+    moves_accepted: int
+    hpwl_before_um: float
+    hpwl_after_um: float
+
+    @property
+    def improvement_percent(self) -> float:
+        if self.hpwl_before_um == 0:
+            return 0.0
+        return 100.0 * (self.hpwl_before_um - self.hpwl_after_um) / self.hpwl_before_um
+
+
+class DetailedImprover:
+    """Greedy swap-based detailed placement."""
+
+    def __init__(self, region: PlacementRegion, max_passes: int = 3, obstacles=()):
+        self.region = region
+        self.max_passes = max_passes
+        self.obstacles = list(obstacles)
+
+    def _clear_of_obstacles(self, placement: Placement, cell: int) -> bool:
+        if not self.obstacles:
+            return True
+        r = placement.rect_of(cell)
+        return not any(r.overlaps(obs) for obs in self.obstacles)
+
+    # ------------------------------------------------------------------
+    def improve(self, placement: Placement) -> ImprovementResult:
+        nl = placement.netlist
+        out = placement.copy()
+        arrays = pin_arrays(nl)
+        hpwl_before = float(net_hpwl(out).sum())
+        accepted = 0
+        passes_run = 0
+        for _ in range(self.max_passes):
+            passes_run += 1
+            pass_accepted = 0
+            rows = self._rows_of(out)
+            pass_accepted += self._adjacent_swaps(out, rows)
+            pass_accepted += self._cross_row_swaps(out, rows)
+            pass_accepted += self._slide_to_median(out, rows)
+            accepted += pass_accepted
+            if pass_accepted == 0:
+                break
+        hpwl_after = float(net_hpwl(out).sum())
+        return ImprovementResult(
+            placement=out,
+            passes=passes_run,
+            moves_accepted=accepted,
+            hpwl_before_um=hpwl_before,
+            hpwl_after_um=hpwl_after,
+        )
+
+    # ------------------------------------------------------------------
+    # Row structure
+    # ------------------------------------------------------------------
+    def _rows_of(self, placement: Placement) -> Dict[float, List[int]]:
+        """Movable standard cells grouped by row y, sorted by x."""
+        nl = placement.netlist
+        rows: Dict[float, List[int]] = {}
+        for i in nl.movable_indices:
+            if nl.cells[i].kind is CellKind.BLOCK:
+                continue
+            rows.setdefault(round(float(placement.y[i]), 6), []).append(int(i))
+        for cells in rows.values():
+            cells.sort(key=lambda i: placement.x[i])
+        return rows
+
+    # ------------------------------------------------------------------
+    # Moves
+    # ------------------------------------------------------------------
+    def _nets_hpwl(self, placement: Placement, nets: Sequence[int]) -> float:
+        total = 0.0
+        for j in nets:
+            px, py = placement.pin_positions(j)
+            total += (px.max() - px.min()) + (py.max() - py.min())
+        return total
+
+    def _affected_nets(self, placement: Placement, cells: Sequence[int]) -> List[int]:
+        nets: Set[int] = set()
+        for i in cells:
+            nets.update(placement.netlist.nets_of_cell(i))
+        return sorted(nets)
+
+    def _adjacent_swaps(self, placement: Placement, rows: Dict[float, List[int]]) -> int:
+        nl = placement.netlist
+        accepted = 0
+        for cells in rows.values():
+            for k in range(len(cells) - 1):
+                a, b = cells[k], cells[k + 1]
+                nets = self._affected_nets(placement, (a, b))
+                before = self._nets_hpwl(placement, nets)
+                ax, bx = placement.x[a], placement.x[b]
+                left_edge = ax - nl.widths[a] / 2.0
+                # Repack: b first, then a, starting at the old left edge.
+                new_bx = left_edge + nl.widths[b] / 2.0
+                new_ax = left_edge + nl.widths[b] + nl.widths[a] / 2.0
+                placement.x[a], placement.x[b] = new_ax, new_bx
+                after = self._nets_hpwl(placement, nets)
+                # Cells in the same row can sit in different segments (a
+                # block between them); repacking must not cross into it.
+                legal = self._clear_of_obstacles(
+                    placement, a
+                ) and self._clear_of_obstacles(placement, b)
+                if legal and after < before - 1e-9:
+                    accepted += 1
+                    cells[k], cells[k + 1] = b, a
+                else:
+                    placement.x[a], placement.x[b] = ax, bx
+        return accepted
+
+    def _cross_row_swaps(self, placement: Placement, rows: Dict[float, List[int]]) -> int:
+        nl = placement.netlist
+        accepted = 0
+        row_ys = sorted(rows)
+        for ri in range(len(row_ys) - 1):
+            upper = rows[row_ys[ri + 1]]
+            lower = rows[row_ys[ri]]
+            if not upper or not lower:
+                continue
+            upper_x = [placement.x[i] for i in upper]
+            for pos_a, a in enumerate(lower):
+                k = bisect.bisect_left(upper_x, placement.x[a])
+                for pos_b in (k - 1, k):
+                    if not 0 <= pos_b < len(upper):
+                        continue
+                    b = upper[pos_b]
+                    if not self._fits_in_slot(placement, nl, lower, pos_a, b):
+                        continue
+                    if not self._fits_in_slot(placement, nl, upper, pos_b, a):
+                        continue
+                    nets = self._affected_nets(placement, (a, b))
+                    before = self._nets_hpwl(placement, nets)
+                    ax, ay = placement.x[a], placement.y[a]
+                    bx, by = placement.x[b], placement.y[b]
+                    placement.x[a], placement.y[a] = bx, by
+                    placement.x[b], placement.y[b] = ax, ay
+                    after = self._nets_hpwl(placement, nets)
+                    legal = self._clear_of_obstacles(
+                        placement, a
+                    ) and self._clear_of_obstacles(placement, b)
+                    if legal and after < before - 1e-9:
+                        accepted += 1
+                        lower[pos_a], upper[pos_b] = b, a
+                        upper_x[pos_b] = placement.x[b]
+                        break
+                    placement.x[a], placement.y[a] = ax, ay
+                    placement.x[b], placement.y[b] = bx, by
+        return accepted
+
+    def _slide_to_median(
+        self, placement: Placement, rows: Dict[float, List[int]]
+    ) -> int:
+        """Slide each cell to its 1-D optimal x within its free span.
+
+        With neighbors fixed, the HPWL-optimal x for a cell is any median of
+        the interval endpoints contributed by its nets' other pins; we take
+        the midpoint of the optimal interval, clamp it into the free span,
+        and accept on exact improvement.
+        """
+        nl = placement.netlist
+        accepted = 0
+        for cells in rows.values():
+            for pos, i in enumerate(cells):
+                endpoints: List[float] = []
+                for j in nl.nets_of_cell(i):
+                    xs = [
+                        placement.x[p.cell] + p.dx
+                        for p in nl.nets[j].pins
+                        if p.cell != i
+                    ]
+                    if xs:
+                        endpoints.append(min(xs))
+                        endpoints.append(max(xs))
+                if not endpoints:
+                    continue
+                endpoints.sort()
+                mid = len(endpoints) // 2
+                if len(endpoints) % 2 == 0:
+                    target = 0.5 * (endpoints[mid - 1] + endpoints[mid])
+                else:
+                    target = endpoints[mid]
+                left = (
+                    placement.x[cells[pos - 1]] + nl.widths[cells[pos - 1]] / 2.0
+                    if pos > 0
+                    else self.region.bounds.xlo
+                )
+                right = (
+                    placement.x[cells[pos + 1]] - nl.widths[cells[pos + 1]] / 2.0
+                    if pos + 1 < len(cells)
+                    else self.region.bounds.xhi
+                )
+                half = nl.widths[i] / 2.0
+                new_x = min(max(target, left + half), right - half)
+                if abs(new_x - placement.x[i]) < 1e-9:
+                    continue
+                nets = self._affected_nets(placement, (i,))
+                before = self._nets_hpwl(placement, nets)
+                old_x = placement.x[i]
+                placement.x[i] = new_x
+                legal = self._clear_of_obstacles(placement, i)
+                after = self._nets_hpwl(placement, nets)
+                if legal and after < before - 1e-9:
+                    accepted += 1
+                else:
+                    placement.x[i] = old_x
+        return accepted
+
+    def _fits_in_slot(
+        self,
+        placement: Placement,
+        nl,
+        row_cells: List[int],
+        pos: int,
+        candidate: int,
+    ) -> bool:
+        """Does *candidate* fit into the free span around ``row_cells[pos]``?"""
+        occupant = row_cells[pos]
+        left = (
+            placement.x[row_cells[pos - 1]] + nl.widths[row_cells[pos - 1]] / 2.0
+            if pos > 0
+            else self.region.bounds.xlo
+        )
+        right = (
+            placement.x[row_cells[pos + 1]] - nl.widths[row_cells[pos + 1]] / 2.0
+            if pos + 1 < len(row_cells)
+            else self.region.bounds.xhi
+        )
+        span = right - left
+        if nl.widths[candidate] > span + 1e-9:
+            return False
+        # The swap keeps the occupant's center; the candidate must not poke
+        # out of the span at that center.
+        cx = placement.x[occupant]
+        half = nl.widths[candidate] / 2.0
+        return cx - half >= left - 1e-9 and cx + half <= right + 1e-9

@@ -1,0 +1,72 @@
+"""Tetris-style greedy legalization.
+
+The simplest legalizer: sweep cells left-to-right, and for each cell pick
+the (segment, position) append that minimizes its own displacement.  Cells
+already placed never move again — faster than Abacus but usually with a
+larger total displacement; kept both as a fallback and as an ablation
+reference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..geometry import PlacementRegion, Rect
+from ..netlist import CellKind, Placement
+from .abacus import LegalizationResult
+from .segments import build_segments
+
+
+class TetrisLegalizer:
+    """Greedy row legalizer with obstacle-aware segments."""
+
+    def __init__(self, region: PlacementRegion, obstacles: Sequence[Rect] = ()):
+        self.region = region
+        self.obstacles = list(obstacles)
+        self.segments = build_segments(region, self.obstacles)
+        if not self.segments:
+            raise ValueError("no free segments to legalize into")
+
+    def legalize(self, placement: Placement) -> LegalizationResult:
+        nl = placement.netlist
+        tails = np.array([seg.xlo for seg in self.segments])
+        seg_xhi = np.array([seg.xhi for seg in self.segments])
+        seg_cy = np.array([seg.center_y for seg in self.segments])
+
+        targets = [
+            i
+            for i in nl.movable_indices
+            if nl.cells[i].kind is not CellKind.BLOCK
+        ]
+        targets.sort(key=lambda i: placement.x[i] - nl.widths[i] / 2.0)
+
+        out = placement.copy()
+        failed: List[int] = []
+        for i in targets:
+            width = float(nl.widths[i])
+            x_desired = float(placement.x[i] - width / 2.0)
+            y_desired = float(placement.y[i])
+            # Clamp the desired left edge into each segment so a cell near
+            # the region's right edge can still slide in.
+            x_pos = np.maximum(tails, np.minimum(x_desired, seg_xhi - width))
+            feasible = x_pos + width <= seg_xhi + 1e-9
+            if not feasible.any():
+                failed.append(i)
+                continue
+            cost = (x_pos - x_desired) ** 2 + (seg_cy - y_desired) ** 2
+            cost[~feasible] = np.inf
+            si = int(np.argmin(cost))
+            out.x[i] = x_pos[si] + width / 2.0
+            out.y[i] = seg_cy[si]
+            tails[si] = x_pos[si] + width
+        out.reset_fixed()
+        moved = out.displacement_from(placement)
+        movable = nl.movable_indices
+        return LegalizationResult(
+            placement=out,
+            mean_displacement=float(moved[movable].mean()) if movable.size else 0.0,
+            max_displacement=float(moved[movable].max()) if movable.size else 0.0,
+            failed_cells=failed,
+        )

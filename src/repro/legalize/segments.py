@@ -1,0 +1,70 @@
+"""Row segments: the free intervals of each standard-cell row.
+
+Fixed cells and placed macro blocks are obstacles that split rows into
+segments; legalizers place standard cells into segments only.  This is what
+lets the same legalization code serve both pure standard-cell designs and
+the mixed block/cell floorplanning flow (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from ..geometry import PlacementRegion, Rect, Row
+
+
+@dataclass
+class Segment:
+    """One free interval of a row."""
+
+    row: Row
+    xlo: float
+    xhi: float
+
+    @property
+    def width(self) -> float:
+        return self.xhi - self.xlo
+
+    @property
+    def y(self) -> float:
+        return self.row.y
+
+    @property
+    def center_y(self) -> float:
+        return self.row.center_y
+
+
+def build_segments(
+    region: PlacementRegion,
+    obstacles: Sequence[Rect] = (),
+    min_width: float = 1e-9,
+) -> List[Segment]:
+    """Split every row of the region into obstacle-free segments."""
+    if not region.rows:
+        raise ValueError("region has no rows to build segments from")
+    segments: List[Segment] = []
+    for row in region.rows:
+        row_rect = row.bounds
+        # Collect obstacle x-intervals that vertically intersect this row.
+        blocked: List[tuple] = []
+        for obs in obstacles:
+            if obs.ylo < row_rect.yhi and row_rect.ylo < obs.yhi:
+                xlo = max(obs.xlo, row.xlo)
+                xhi = min(obs.xhi, row.xhi)
+                if xhi > xlo:
+                    blocked.append((xlo, xhi))
+        blocked.sort()
+        cursor = row.xlo
+        for xlo, xhi in blocked:
+            if xlo - cursor > min_width:
+                segments.append(Segment(row=row, xlo=cursor, xhi=xlo))
+            cursor = max(cursor, xhi)
+        if row.xhi - cursor > min_width:
+            segments.append(Segment(row=row, xlo=cursor, xhi=row.xhi))
+    return segments
+
+
+def total_capacity(segments: Iterable[Segment]) -> float:
+    """Total placeable width over the given segments."""
+    return sum(seg.width for seg in segments)

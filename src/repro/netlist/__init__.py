@@ -1,0 +1,68 @@
+"""Netlist model: cells, nets, placements, builders, I/O and generators."""
+
+from .cell import Cell, CellKind
+from .net import Net, Pin, PinDirection
+from .netlist import Netlist
+from .builder import NetlistBuilder
+from .placement import Placement
+from .generator import (
+    GeneratedCircuit,
+    GeneratorSpec,
+    generate_circuit,
+    ROW_HEIGHT,
+    SITE_WIDTH,
+)
+from .benchmarks import (
+    CircuitProfile,
+    MCNC_PROFILES,
+    PROFILES_BY_NAME,
+    TIMING_CIRCUITS,
+    bench_scale,
+    make_circuit,
+    make_mixed_size_circuit,
+    make_suite,
+)
+from .bookshelf import load_bookshelf, save_bookshelf
+from .clustering import Clustering, cluster_netlist
+from .io import (
+    load_netlist,
+    save_netlist,
+    load_placement,
+    save_placement,
+    netlist_to_string,
+    netlist_from_string,
+)
+
+__all__ = [
+    "Cell",
+    "CellKind",
+    "Net",
+    "Pin",
+    "PinDirection",
+    "Netlist",
+    "NetlistBuilder",
+    "Placement",
+    "GeneratedCircuit",
+    "GeneratorSpec",
+    "generate_circuit",
+    "ROW_HEIGHT",
+    "SITE_WIDTH",
+    "CircuitProfile",
+    "MCNC_PROFILES",
+    "PROFILES_BY_NAME",
+    "TIMING_CIRCUITS",
+    "bench_scale",
+    "make_circuit",
+    "make_mixed_size_circuit",
+    "make_suite",
+    "load_bookshelf",
+    "save_bookshelf",
+    "Clustering",
+    "cluster_netlist",
+    "load_netlist",
+    "save_netlist",
+    "load_placement",
+    "save_placement",
+    "netlist_to_string",
+    "netlist_from_string",
+]

@@ -1,0 +1,104 @@
+"""The paper's benchmark suite, reproduced synthetically.
+
+Table 1 of the paper lists nine MCNC circuits.  This module encodes their
+published structural parameters and generates matching synthetic circuits
+via :mod:`repro.netlist.generator`.  A global scale factor lets the whole
+evaluation run at reduced size (same circuit family, fewer cells) — useful
+for CI; set scale 1.0 for paper-size runs.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .generator import GeneratedCircuit, GeneratorSpec, generate_circuit
+
+
+@dataclass(frozen=True)
+class CircuitProfile:
+    """Published parameters of one MCNC benchmark circuit."""
+
+    name: str
+    cells: int
+    nets: int
+    rows: int
+
+    def spec(self, scale: float = 1.0, **overrides) -> GeneratorSpec:
+        """A generator spec for this circuit at the given size scale."""
+        cells = max(24, int(round(self.cells * scale)))
+        nets = max(24, int(round(self.nets * scale)))
+        rows = max(4, int(round(self.rows * math.sqrt(scale))))
+        params = dict(
+            name=self.name if scale == 1.0 else f"{self.name}@{scale:g}",
+            num_cells=cells,
+            num_nets=nets,
+            num_rows=rows,
+        )
+        params.update(overrides)
+        return GeneratorSpec(**params)
+
+
+# Published MCNC parameters (cells / nets / rows) as used in the 1998 paper.
+MCNC_PROFILES: List[CircuitProfile] = [
+    CircuitProfile("fract", cells=125, nets=147, rows=6),
+    CircuitProfile("primary1", cells=752, nets=904, rows=16),
+    CircuitProfile("struct", cells=1888, nets=1920, rows=21),
+    CircuitProfile("primary2", cells=2907, nets=3029, rows=28),
+    CircuitProfile("biomed", cells=6417, nets=5742, rows=46),
+    CircuitProfile("industry2", cells=12142, nets=13419, rows=72),
+    CircuitProfile("industry3", cells=15059, nets=21940, rows=54),
+    CircuitProfile("avq.small", cells=21854, nets=22124, rows=80),
+    CircuitProfile("avq.large", cells=25114, nets=25384, rows=86),
+]
+
+PROFILES_BY_NAME: Dict[str, CircuitProfile] = {p.name: p for p in MCNC_PROFILES}
+
+# Subset used by the paper's timing evaluation (Tables 3 and 4).
+TIMING_CIRCUITS: List[str] = ["fract", "struct", "biomed", "avq.small", "avq.large"]
+
+
+def bench_scale(default: float = 0.1) -> float:
+    """Suite scale factor, overridable via ``REPRO_BENCH_SCALE``."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", "")
+    if not raw:
+        return default
+    scale = float(raw)
+    if not 0 < scale <= 1.0:
+        raise ValueError(f"REPRO_BENCH_SCALE must be in (0, 1], got {scale}")
+    return scale
+
+
+def make_circuit(name: str, scale: float = 1.0, **overrides) -> GeneratedCircuit:
+    """Generate one suite circuit by name at the given scale."""
+    if name not in PROFILES_BY_NAME:
+        known = ", ".join(sorted(PROFILES_BY_NAME))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}")
+    return generate_circuit(PROFILES_BY_NAME[name].spec(scale, **overrides))
+
+
+def make_suite(
+    scale: float = 1.0, names: Optional[List[str]] = None
+) -> Dict[str, GeneratedCircuit]:
+    """Generate the full (or a named subset of the) suite."""
+    selected = names if names is not None else [p.name for p in MCNC_PROFILES]
+    return {name: make_circuit(name, scale) for name in selected}
+
+
+def make_mixed_size_circuit(
+    scale: float = 1.0,
+    num_blocks: int = 8,
+    block_area_fraction: float = 0.35,
+) -> GeneratedCircuit:
+    """A mixed block/cell floorplanning circuit (Section 5 of the paper)."""
+    profile = PROFILES_BY_NAME["primary2"]
+    spec = profile.spec(
+        scale,
+        name=f"mixed@{scale:g}",
+        num_blocks=num_blocks,
+        block_area_fraction=block_area_fraction,
+        utilization=0.7,
+    )
+    return generate_circuit(spec)

@@ -1,0 +1,98 @@
+"""Cells: the movable (and fixed) objects being placed.
+
+The paper's key generic-placement claim is that standard cells, macro blocks
+and pads are all handled by the *same* mechanism — a cell is just a rectangle
+with connectivity, and a block is merely a big cell.  We therefore use a
+single :class:`Cell` class with a :class:`CellKind` tag instead of separate
+block/pad hierarchies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..geometry import Rect
+
+
+class CellKind(enum.Enum):
+    """What a cell physically is.  Placement treats all kinds uniformly."""
+
+    STANDARD = "standard"  # row-height standard cell
+    BLOCK = "block"  # macro block (floorplanning)
+    PAD = "pad"  # I/O pad, normally fixed on the boundary
+
+
+@dataclass
+class Cell:
+    """One placeable (or fixed) rectangle.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within the netlist.
+    width, height:
+        Physical size in microns.
+    kind:
+        Standard cell, block or pad.
+    fixed:
+        Fixed cells keep their ``(x, y)`` center forever; they contribute to
+        the quadratic system only through the constant vector ``d``.
+    x, y:
+        Center coordinates.  Mandatory for fixed cells; for movable cells
+        they are an optional initial position hint.
+    delay:
+        Intrinsic cell delay in nanoseconds (input pin to output pin).
+    input_cap:
+        Capacitance of each input pin in farads (Elmore sink load).
+    power:
+        Dissipated power in watts; consumed by the thermal substrate.
+    is_register:
+        Registers start and end timing paths.
+    index:
+        Position in the owning :class:`~repro.netlist.netlist.Netlist`;
+        assigned by the builder, ``-1`` until then.
+    """
+
+    name: str
+    width: float
+    height: float
+    kind: CellKind = CellKind.STANDARD
+    fixed: bool = False
+    x: Optional[float] = None
+    y: Optional[float] = None
+    delay: float = 0.0
+    input_cap: float = 5.0e-13
+    power: float = 0.0
+    is_register: bool = False
+    index: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(
+                f"cell {self.name!r} needs positive size, got {self.width} x {self.height}"
+            )
+        if self.fixed and (self.x is None or self.y is None):
+            raise ValueError(f"fixed cell {self.name!r} needs coordinates")
+        if self.delay < 0:
+            raise ValueError(f"cell {self.name!r} has negative delay")
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def is_movable(self) -> bool:
+        return not self.fixed
+
+    def rect_at(self, cx: float, cy: float) -> Rect:
+        """Footprint rectangle when centered at ``(cx, cy)``."""
+        return Rect.from_center(cx, cy, self.width, self.height)
+
+    def fixed_rect(self) -> Rect:
+        """Footprint of a fixed cell at its pinned position."""
+        if not self.fixed:
+            raise ValueError(f"cell {self.name!r} is movable")
+        assert self.x is not None and self.y is not None
+        return self.rect_at(self.x, self.y)

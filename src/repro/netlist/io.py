@@ -1,0 +1,196 @@
+"""Plain-text netlist and placement serialization.
+
+A deliberately simple line-oriented format (in the spirit of bookshelf
+``.nodes``/``.nets`` but in one file) so benchmark circuits and placements
+can be saved, diffed and reloaded without any binary dependencies.
+
+Format::
+
+    # repro netlist v1
+    netlist <name>
+    cell <name> <width> <height> <kind> <movable|fixed> <x|-> <y|-> \
+        <delay> <input_cap> <power> <is_register>
+    net <name> <weight> <cell>:<dir>:<dx>:<dy> ...
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, TextIO, Union
+
+from .builder import NetlistBuilder
+from .cell import Cell, CellKind
+from .net import PinDirection
+from .netlist import Netlist
+from .placement import Placement
+
+MAGIC = "# repro netlist v1"
+PLACEMENT_MAGIC = "# repro placement v1"
+
+PathLike = Union[str, Path]
+
+
+def _fmt_float(v: float) -> str:
+    return repr(float(v))
+
+
+def dump_netlist(netlist: Netlist, stream: TextIO) -> None:
+    """Write the netlist to *stream* in the repro text format."""
+    stream.write(MAGIC + "\n")
+    stream.write(f"netlist {netlist.name}\n")
+    for cell in netlist.cells:
+        fixed = "fixed" if cell.fixed else "movable"
+        x = _fmt_float(cell.x) if cell.x is not None else "-"
+        y = _fmt_float(cell.y) if cell.y is not None else "-"
+        stream.write(
+            f"cell {cell.name} {_fmt_float(cell.width)} {_fmt_float(cell.height)} "
+            f"{cell.kind.value} {fixed} {x} {y} {_fmt_float(cell.delay)} "
+            f"{_fmt_float(cell.input_cap)} {_fmt_float(cell.power)} "
+            f"{int(cell.is_register)}\n"
+        )
+    for net in netlist.nets:
+        pin_tokens = " ".join(
+            f"{netlist.cells[p.cell].name}:{p.direction.value}:"
+            f"{_fmt_float(p.dx)}:{_fmt_float(p.dy)}"
+            for p in net.pins
+        )
+        stream.write(f"net {net.name} {_fmt_float(net.weight)} {pin_tokens}\n")
+
+
+def save_netlist(netlist: Netlist, path: PathLike) -> None:
+    """Write the netlist to a file in the repro text format."""
+    with open(path, "w", encoding="utf-8") as f:
+        dump_netlist(netlist, f)
+
+
+def parse_netlist(stream: TextIO) -> Netlist:
+    """Parse a netlist from a repro-format text stream."""
+    first = stream.readline().rstrip("\n")
+    if first != MAGIC:
+        raise ValueError(f"not a repro netlist file (header {first!r})")
+    builder: NetlistBuilder = NetlistBuilder("unnamed")
+    for lineno, raw in enumerate(stream, start=2):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split()
+        kind = tokens[0]
+        try:
+            if kind == "netlist":
+                builder = NetlistBuilder(tokens[1])
+            elif kind == "cell":
+                _parse_cell(builder, tokens)
+            elif kind == "net":
+                _parse_net(builder, tokens)
+            else:
+                raise ValueError(f"unknown record {kind!r}")
+        except (IndexError, ValueError, KeyError) as exc:
+            raise ValueError(f"line {lineno}: {exc}") from exc
+    return builder.build()
+
+
+def _parse_cell(builder: NetlistBuilder, tokens: List[str]) -> None:
+    (
+        _,
+        name,
+        width,
+        height,
+        kind,
+        mobility,
+        x,
+        y,
+        delay,
+        input_cap,
+        power,
+        is_register,
+    ) = tokens
+    common = dict(
+        kind=CellKind(kind),
+        delay=float(delay),
+        input_cap=float(input_cap),
+        power=float(power),
+        is_register=bool(int(is_register)),
+    )
+    if mobility == "fixed":
+        builder.add_fixed_cell(
+            name, float(width), float(height), x=float(x), y=float(y), **common
+        )
+    else:
+        builder.add_cell(
+            name,
+            float(width),
+            float(height),
+            x=None if x == "-" else float(x),
+            y=None if y == "-" else float(y),
+            **common,
+        )
+
+
+def _parse_net(builder: NetlistBuilder, tokens: List[str]) -> None:
+    name = tokens[1]
+    weight = float(tokens[2])
+    pins = []
+    for token in tokens[3:]:
+        cell_name, direction, dx, dy = token.rsplit(":", 3)
+        pins.append((cell_name, direction, float(dx), float(dy)))
+    builder.add_net(name, pins, weight=weight)
+
+
+def load_netlist(path: PathLike) -> Netlist:
+    """Load a netlist from a repro-format text file."""
+    with open(path, "r", encoding="utf-8") as f:
+        return parse_netlist(f)
+
+
+def netlist_to_string(netlist: Netlist) -> str:
+    """Serialize the netlist to a repro-format string."""
+    buf = io.StringIO()
+    dump_netlist(netlist, buf)
+    return buf.getvalue()
+
+
+def netlist_from_string(text: str) -> Netlist:
+    """Parse a netlist from a repro-format string."""
+    return parse_netlist(io.StringIO(text))
+
+
+# ----------------------------------------------------------------------
+# Placements
+# ----------------------------------------------------------------------
+def save_placement(placement: Placement, path: PathLike) -> None:
+    """Write cell-center coordinates to a repro placement file."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(PLACEMENT_MAGIC + "\n")
+        f.write(f"netlist {placement.netlist.name}\n")
+        for cell, x, y in zip(placement.netlist.cells, placement.x, placement.y):
+            f.write(f"{cell.name} {_fmt_float(x)} {_fmt_float(y)}\n")
+
+
+def load_placement(netlist: Netlist, path: PathLike) -> Placement:
+    """Read a placement file back onto *netlist* (all cells required)."""
+    coords = {}
+    with open(path, "r", encoding="utf-8") as f:
+        first = f.readline().rstrip("\n")
+        if first != PLACEMENT_MAGIC:
+            raise ValueError(f"not a repro placement file (header {first!r})")
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("#") or line.startswith("netlist "):
+                continue
+            name, x, y = line.split()
+            coords[name] = (float(x), float(y))
+    placement = Placement(
+        netlist,
+        x=netlist.fixed_x.copy(),
+        y=netlist.fixed_y.copy(),
+    )
+    for cell in netlist.cells:
+        if cell.name not in coords:
+            raise ValueError(f"placement file misses cell {cell.name!r}")
+        x, y = coords[cell.name]
+        if not cell.fixed:
+            placement.x[cell.index] = x
+            placement.y[cell.index] = y
+    placement.reset_fixed()
+    return placement

@@ -1,0 +1,12 @@
+"""Thermal substrate: power maps, steady-state heat, heat-driven placement."""
+
+from .heatmap import ThermalModel, ThermalResult, power_map
+from .driven import HeatDrivenPlacer, HeatResult
+
+__all__ = [
+    "ThermalModel",
+    "ThermalResult",
+    "power_map",
+    "HeatDrivenPlacer",
+    "HeatResult",
+]

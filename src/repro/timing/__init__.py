@@ -1,0 +1,49 @@
+"""Timing substrate: Elmore delays, STA, criticalities, timing-driven flows."""
+
+from .elmore import (
+    CAPACITANCE_PER_METER,
+    RESISTANCE_PER_METER,
+    ElmoreModel,
+    net_sink_capacitance,
+)
+from .graph import (
+    DEFAULT_MAX_TIMING_DEGREE,
+    TimingArc,
+    TimingGraph,
+    build_timing_graph,
+)
+from .sta import STAResult, StaticTimingAnalyzer
+from .criticality import DEFAULT_CRITICAL_FRACTION, CriticalityTracker
+from .report import critical_path_report, slack_histogram, timing_summary
+from .driver import (
+    RequirementResult,
+    TimingDrivenPlacer,
+    TimingPlacementResult,
+    TradeoffPoint,
+    exploitation_percent,
+    meet_timing_requirement,
+)
+
+__all__ = [
+    "CAPACITANCE_PER_METER",
+    "RESISTANCE_PER_METER",
+    "ElmoreModel",
+    "net_sink_capacitance",
+    "DEFAULT_MAX_TIMING_DEGREE",
+    "TimingArc",
+    "TimingGraph",
+    "build_timing_graph",
+    "STAResult",
+    "StaticTimingAnalyzer",
+    "DEFAULT_CRITICAL_FRACTION",
+    "CriticalityTracker",
+    "critical_path_report",
+    "slack_histogram",
+    "timing_summary",
+    "RequirementResult",
+    "TimingDrivenPlacer",
+    "TimingPlacementResult",
+    "TradeoffPoint",
+    "exploitation_percent",
+    "meet_timing_requirement",
+]

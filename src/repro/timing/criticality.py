@@ -1,0 +1,66 @@
+"""Net criticalities and the paper's multiplicative weight update (Section 5).
+
+At iteration ``m`` each net has a criticality ``c_j^(m)``, initialized to
+zero and updated before each placement transformation:
+
+    c_j^(m) = (c_j^(m-1) + 1) / 2   if net j is among the 3 % most critical
+    c_j^(m) =  c_j^(m-1) / 2        otherwise
+
+so a currently-critical net contributes 50 %, one critical in the previous
+step 25 %, and so on — an exponential moving average that "effectively
+reduces oscillations of netweights".  The placement weight of net ``j`` is
+then multiplied by ``(1 + c_j^(m))``: a never-critical net keeps its weight,
+an always-critical net doubles it every step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..netlist import Netlist
+from .sta import STAResult
+
+DEFAULT_CRITICAL_FRACTION = 0.03
+
+
+@dataclass
+class CriticalityTracker:
+    """Tracks ``c_j`` and the running multiplicative net weights."""
+
+    netlist: Netlist
+    critical_fraction: float = DEFAULT_CRITICAL_FRACTION
+    max_weight: float = 64.0  # safety cap on the multiplicative growth
+    criticality: np.ndarray = field(init=False)
+    weights: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.critical_fraction <= 1:
+            raise ValueError("critical_fraction must be in (0, 1]")
+        n = self.netlist.num_nets
+        self.criticality = np.zeros(n)
+        self.weights = np.ones(n)
+
+    def update(self, sta: STAResult) -> np.ndarray:
+        """One weight-adaption step from a fresh timing analysis.
+
+        Returns the updated weight array (also kept on the tracker).
+        """
+        critical = sta.critical_nets(self.critical_fraction)
+        is_critical = np.zeros(self.netlist.num_nets, dtype=bool)
+        is_critical[critical] = True
+        self.criticality = np.where(
+            is_critical,
+            (self.criticality + 1.0) / 2.0,
+            self.criticality / 2.0,
+        )
+        self.weights = np.minimum(
+            self.weights * (1.0 + self.criticality), self.max_weight
+        )
+        return self.weights.copy()
+
+    def reset(self) -> None:
+        self.criticality[:] = 0.0
+        self.weights[:] = 1.0

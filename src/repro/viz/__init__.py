@@ -1,0 +1,14 @@
+"""Visualization: dependency-free SVG and ASCII rendering."""
+
+from .ascii import ascii_heatmap, ascii_placement, sparkline
+from .svg import SVGCanvas, curve_svg, heatmap_svg, placement_svg
+
+__all__ = [
+    "ascii_heatmap",
+    "ascii_placement",
+    "sparkline",
+    "SVGCanvas",
+    "curve_svg",
+    "heatmap_svg",
+    "placement_svg",
+]

@@ -1,0 +1,72 @@
+"""Terminal-friendly ASCII views of placements and scalar maps."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..evaluation.overlap import occupancy_map
+from ..geometry import Grid, PlacementRegion
+from ..netlist import CellKind, Placement
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(values: np.ndarray, flip: bool = True) -> str:
+    """Render a 2-D array as shaded characters (bottom row last by default)."""
+    v = np.asarray(values, dtype=np.float64)
+    lo, hi = float(v.min()), float(v.max())
+    span = (hi - lo) or 1.0
+    idx = ((v - lo) / span * (len(_SHADES) - 1)).astype(int)
+    rows = ["".join(_SHADES[k] for k in row) for row in idx]
+    if flip:
+        rows = rows[::-1]
+    return "\n".join(rows)
+
+
+def ascii_placement(
+    placement: Placement,
+    region: PlacementRegion,
+    cols: int = 72,
+    rows: int = 24,
+    grid: Optional[Grid] = None,
+) -> str:
+    """Character map of a placement: '#' blocks, shading for cell density."""
+    g = grid or Grid(region.bounds, cols, rows)
+    occ = occupancy_map(placement, region, grid=g)
+    density = occ / g.bin_area
+    nl = placement.netlist
+    block_mask = np.zeros(g.shape, dtype=bool)
+    for i in range(nl.num_cells):
+        cell = nl.cells[i]
+        if cell.kind is CellKind.BLOCK or (cell.fixed and cell.area > 4 * g.bin_area):
+            rect = placement.rect_of(i)
+            for iy in range(g.ny):
+                for ix in range(g.nx):
+                    if rect.overlaps(g.bin_rect(iy, ix)):
+                        block_mask[iy, ix] = True
+    capped = np.clip(density, 0.0, 2.0) / 2.0
+    idx = (capped * (len(_SHADES) - 1)).astype(int)
+    lines = []
+    for iy in range(g.ny - 1, -1, -1):
+        line = []
+        for ix in range(g.nx):
+            line.append("#" if block_mask[iy, ix] else _SHADES[idx[iy, ix]])
+        lines.append("".join(line))
+    return "\n".join(lines)
+
+
+def sparkline(values, width: int = 60) -> str:
+    """One-line trend view of a numeric series (e.g. HPWL per iteration)."""
+    v = np.asarray(list(values), dtype=np.float64)
+    if v.size == 0:
+        return ""
+    if v.size > width:
+        # Downsample by block means.
+        edges = np.linspace(0, v.size, width + 1).astype(int)
+        v = np.array([v[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a])
+    lo, hi = float(v.min()), float(v.max())
+    span = (hi - lo) or 1.0
+    blocks = "▁▂▃▄▅▆▇█"
+    return "".join(blocks[int((x - lo) / span * (len(blocks) - 1))] for x in v)

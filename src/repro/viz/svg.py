@@ -1,0 +1,208 @@
+"""Dependency-free SVG rendering of placements, maps and curves.
+
+Placement tools live or die by being able to *look* at a placement; this
+module writes self-contained SVG files with nothing beyond the standard
+library.  Colors follow a fixed semantic scheme: standard cells blue,
+blocks amber, fixed cells/pads gray, highlighted nets red.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..geometry import Grid, PlacementRegion, Rect
+from ..netlist import CellKind, Placement
+
+PathLike = Union[str, Path]
+
+CELL_FILL = "#4a7fb5"
+BLOCK_FILL = "#d9a441"
+FIXED_FILL = "#9aa0a6"
+NET_STROKE = "#c0392b"
+REGION_STROKE = "#333333"
+ROW_STROKE = "#dddddd"
+
+
+class SVGCanvas:
+    """Minimal SVG document builder with a y-flip into screen coordinates."""
+
+    def __init__(self, world: Rect, width_px: int = 800, margin_px: int = 10):
+        self.world = world
+        self.scale = (width_px - 2 * margin_px) / world.width
+        self.margin = margin_px
+        self.width_px = width_px
+        self.height_px = int(world.height * self.scale) + 2 * margin_px
+        self._body: List[str] = []
+
+    # -- coordinate transform -------------------------------------------
+    def _tx(self, x: float) -> float:
+        return self.margin + (x - self.world.xlo) * self.scale
+
+    def _ty(self, y: float) -> float:
+        return self.height_px - self.margin - (y - self.world.ylo) * self.scale
+
+    # -- primitives -------------------------------------------------------
+    def rect(
+        self,
+        r: Rect,
+        fill: str = "none",
+        stroke: str = "none",
+        opacity: float = 1.0,
+        stroke_width: float = 1.0,
+    ) -> None:
+        x = self._tx(r.xlo)
+        y = self._ty(r.yhi)
+        self._body.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{r.width * self.scale:.2f}" '
+            f'height="{r.height * self.scale:.2f}" fill="{fill}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}" '
+            f'fill-opacity="{opacity}"/>'
+        )
+
+    def line(
+        self, x1: float, y1: float, x2: float, y2: float,
+        stroke: str = "#000", width: float = 1.0, opacity: float = 1.0,
+    ) -> None:
+        self._body.append(
+            f'<line x1="{self._tx(x1):.2f}" y1="{self._ty(y1):.2f}" '
+            f'x2="{self._tx(x2):.2f}" y2="{self._ty(y2):.2f}" '
+            f'stroke="{stroke}" stroke-width="{width}" '
+            f'stroke-opacity="{opacity}"/>'
+        )
+
+    def polyline(
+        self, points: Sequence[Tuple[float, float]],
+        stroke: str = "#000", width: float = 1.5,
+    ) -> None:
+        path = " ".join(f"{self._tx(x):.2f},{self._ty(y):.2f}" for x, y in points)
+        self._body.append(
+            f'<polyline points="{path}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def text(self, x: float, y: float, content: str, size_px: int = 12) -> None:
+        self._body.append(
+            f'<text x="{self._tx(x):.2f}" y="{self._ty(y):.2f}" '
+            f'font-size="{size_px}" font-family="monospace">{content}</text>'
+        )
+
+    def to_string(self) -> str:
+        header = (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width_px}" height="{self.height_px}" '
+            f'viewBox="0 0 {self.width_px} {self.height_px}">'
+        )
+        background = (
+            f'<rect width="{self.width_px}" height="{self.height_px}" fill="white"/>'
+        )
+        return "\n".join([header, background, *self._body, "</svg>"])
+
+    def save(self, path: PathLike) -> None:
+        Path(path).write_text(self.to_string(), encoding="utf-8")
+
+
+def placement_svg(
+    placement: Placement,
+    region: PlacementRegion,
+    path: Optional[PathLike] = None,
+    width_px: int = 800,
+    highlight_nets: Iterable[int] = (),
+    draw_rows: bool = True,
+) -> str:
+    """Render a placement; returns the SVG text (and writes it if *path*)."""
+    canvas = SVGCanvas(region.bounds.expanded(0.02 * region.width), width_px)
+    if draw_rows:
+        for row in region.rows:
+            canvas.rect(row.bounds, stroke=ROW_STROKE, stroke_width=0.5)
+    canvas.rect(region.bounds, stroke=REGION_STROKE, stroke_width=1.5)
+    nl = placement.netlist
+    for i in range(nl.num_cells):
+        cell = nl.cells[i]
+        if cell.fixed:
+            fill = FIXED_FILL
+        elif cell.kind is CellKind.BLOCK:
+            fill = BLOCK_FILL
+        else:
+            fill = CELL_FILL
+        canvas.rect(
+            placement.rect_of(i),
+            fill=fill,
+            stroke="#ffffff",
+            stroke_width=0.3,
+            opacity=0.85,
+        )
+    for j in highlight_nets:
+        px, py = placement.pin_positions(j)
+        # Star from the net centroid for readability.
+        cx, cy = float(px.mean()), float(py.mean())
+        for x, y in zip(px, py):
+            canvas.line(cx, cy, float(x), float(y), stroke=NET_STROKE, width=1.0)
+    svg = canvas.to_string()
+    if path is not None:
+        Path(path).write_text(svg, encoding="utf-8")
+    return svg
+
+
+def heatmap_svg(
+    grid: Grid,
+    values: np.ndarray,
+    path: Optional[PathLike] = None,
+    width_px: int = 600,
+    low_color: Tuple[int, int, int] = (255, 255, 255),
+    high_color: Tuple[int, int, int] = (178, 24, 43),
+) -> str:
+    """Render a per-bin scalar field (density, congestion, temperature)."""
+    if values.shape != grid.shape:
+        raise ValueError(f"values shape {values.shape} != grid {grid.shape}")
+    canvas = SVGCanvas(grid.bounds, width_px)
+    vmin, vmax = float(values.min()), float(values.max())
+    span = (vmax - vmin) or 1.0
+    for iy in range(grid.ny):
+        for ix in range(grid.nx):
+            t = (float(values[iy, ix]) - vmin) / span
+            rgb = tuple(
+                int(lo + t * (hi - lo)) for lo, hi in zip(low_color, high_color)
+            )
+            canvas.rect(
+                grid.bin_rect(iy, ix),
+                fill=f"rgb({rgb[0]},{rgb[1]},{rgb[2]})",
+            )
+    canvas.rect(grid.bounds, stroke=REGION_STROKE, stroke_width=1.0)
+    svg = canvas.to_string()
+    if path is not None:
+        Path(path).write_text(svg, encoding="utf-8")
+    return svg
+
+
+def curve_svg(
+    series: Sequence[Tuple[str, Sequence[float]]],
+    path: Optional[PathLike] = None,
+    width_px: int = 640,
+    height_ratio: float = 0.5,
+) -> str:
+    """Render convergence-style curves (one polyline per named series)."""
+    if not series or not any(len(values) for _name, values in series):
+        raise ValueError("need at least one non-empty series")
+    max_len = max(len(values) for _n, values in series)
+    all_vals = [v for _n, values in series for v in values]
+    lo, hi = min(all_vals), max(all_vals)
+    span = (hi - lo) or 1.0
+    world = Rect(0.0, 0.0, float(max(max_len - 1, 1)), span * 1.05 or 1.0)
+    canvas = SVGCanvas(world, width_px)
+    canvas.height_px = int(width_px * height_ratio)
+    canvas.scale = (width_px - 2 * canvas.margin) / world.width
+    palette = ["#4a7fb5", "#c0392b", "#27ae60", "#8e44ad", "#d9a441"]
+    for k, (name, values) in enumerate(series):
+        pts = [(float(i), (v - lo)) for i, v in enumerate(values)]
+        if len(pts) == 1:
+            pts.append((pts[0][0] + 1e-9, pts[0][1]))
+        canvas.polyline(pts, stroke=palette[k % len(palette)])
+        canvas.text(0.0, span - k * span * 0.08, f"{name}", size_px=11)
+    svg = canvas.to_string()
+    if path is not None:
+        Path(path).write_text(svg, encoding="utf-8")
+    return svg

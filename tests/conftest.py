@@ -1,0 +1,61 @@
+"""Shared fixtures: small deterministic circuits and placements."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    GeneratorSpec,
+    KraftwerkPlacer,
+    NetlistBuilder,
+    Placement,
+    PlacementRegion,
+    PlacerConfig,
+    generate_circuit,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_circuit():
+    """A ~60-cell synthetic circuit; fast enough for any test."""
+    return generate_circuit(GeneratorSpec(name="tiny", num_cells=60, num_rows=4))
+
+
+@pytest.fixture(scope="session")
+def small_circuit():
+    """A ~300-cell circuit for integration-level tests."""
+    return generate_circuit(GeneratorSpec(name="small", num_cells=300, num_rows=8))
+
+
+@pytest.fixture(scope="session")
+def placed_small(small_circuit):
+    """The small circuit globally placed once (shared across tests)."""
+    placer = KraftwerkPlacer(
+        small_circuit.netlist, small_circuit.region, PlacerConfig()
+    )
+    return placer.place()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def four_cell_netlist():
+    """Hand-built 4-cell, 2-net netlist with two fixed pads."""
+    b = NetlistBuilder("four")
+    b.add_fixed_cell("pl", 2.0, 2.0, x=0.0, y=50.0)
+    b.add_fixed_cell("pr", 2.0, 2.0, x=100.0, y=50.0)
+    b.add_cell("a", 10.0, 10.0, delay=0.2)
+    b.add_cell("b", 10.0, 10.0, delay=0.3)
+    b.add_net("n1", [("pl", "output"), ("a", "input")])
+    b.add_net("n2", [("a", "output"), ("b", "input")])
+    b.add_net("n3", [("b", "output"), ("pr", "input")])
+    return b.build()
+
+
+@pytest.fixture()
+def four_cell_region():
+    return PlacementRegion.standard_cell(100.0, 100.0, row_height=10.0)

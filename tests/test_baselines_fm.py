@@ -1,0 +1,71 @@
+"""Tests for the Fiduccia–Mattheyses bipartitioner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import fm_bipartition
+
+
+def _cut(sides, nets):
+    cut = 0
+    for net in nets:
+        s = {sides[c] for c in net}
+        if len(s) > 1:
+            cut += 1
+    return cut
+
+
+class TestFm:
+    def test_two_cliques_with_bridge(self):
+        # Cells 0-3 fully connected; 4-7 fully connected; one bridge net.
+        nets = []
+        for grp in (range(0, 4), range(4, 8)):
+            grp = list(grp)
+            for i in range(len(grp)):
+                for j in range(i + 1, len(grp)):
+                    nets.append([grp[i], grp[j]])
+        nets.append([3, 4])
+        areas = np.ones(8)
+        # Start from the worst split (alternating) and let FM fix it.
+        initial = np.array([0, 1, 0, 1, 0, 1, 0, 1], dtype=np.int8)
+        result = fm_bipartition(8, nets, areas, initial=initial)
+        assert result.cut == 1
+        assert len(set(result.sides[:4])) == 1
+        assert len(set(result.sides[4:])) == 1
+
+    def test_balance_respected(self, rng):
+        nets = [[i, (i + 1) % 20] for i in range(20)]
+        areas = np.ones(20)
+        result = fm_bipartition(20, nets, areas, balance=0.6)
+        side0 = areas[result.sides == 0].sum()
+        assert 0.4 * 20 <= side0 <= 0.6 * 20 + 1
+
+    def test_never_worse_than_initial(self, rng):
+        num = 30
+        nets = [list(rng.choice(num, size=3, replace=False)) for _ in range(60)]
+        initial = (rng.random(num) < 0.5).astype(np.int8)
+        initial_cut = _cut(initial, nets)
+        result = fm_bipartition(num, nets, [1.0] * num, initial=np.array(initial))
+        assert result.cut <= initial_cut
+        assert result.cut == _cut(result.sides, nets)
+
+    def test_default_initial_partition(self):
+        nets = [[0, 1], [2, 3]]
+        result = fm_bipartition(4, nets, np.array([1.0, 1.0, 1.0, 1.0]))
+        assert result.cut <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fm_bipartition(2, [], np.ones(2), balance=0.4)
+        with pytest.raises(ValueError):
+            fm_bipartition(2, [], np.ones(3))
+        with pytest.raises(ValueError):
+            fm_bipartition(2, [], np.ones(2), initial=np.zeros(5, dtype=np.int8))
+
+    def test_deterministic(self, rng):
+        num = 25
+        gen = np.random.default_rng(5)
+        nets = [list(gen.choice(num, size=3, replace=False)) for _ in range(40)]
+        a = fm_bipartition(num, nets, np.ones(num))
+        b = fm_bipartition(num, nets, np.ones(num))
+        assert np.array_equal(a.sides, b.sides)

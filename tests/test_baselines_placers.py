@@ -1,0 +1,131 @@
+"""Tests for the GORDIAN, TimberWolf and SPEED baseline placers."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GordianConfig,
+    GordianPlacer,
+    NetlistBuilder,
+    Placement,
+    PlacementRegion,
+    SpeedPlacer,
+    StaticTimingAnalyzer,
+    TimberWolfConfig,
+    TimberWolfPlacer,
+    hpwl_meters,
+)
+from repro.baselines.speed import SpeedConfig, slack_weights
+from repro.evaluation import distribution_stats
+
+
+class TestGordian:
+    def test_places_and_spreads(self, small_circuit):
+        result = GordianPlacer(small_circuit.netlist, small_circuit.region).place()
+        assert result.levels >= 2
+        assert result.num_regions > 1
+        stats = distribution_stats(result.placement, small_circuit.region)
+        assert stats.empty_square_ratio < 50.0
+
+    def test_beats_random(self, small_circuit, rng):
+        result = GordianPlacer(small_circuit.netlist, small_circuit.region).place()
+        random_p = Placement.random(small_circuit.netlist, small_circuit.region, rng)
+        assert result.hpwl_m < 0.7 * hpwl_meters(random_p)
+
+    def test_cut_limit_respected(self, small_circuit):
+        cfg = GordianConfig(cut_limit=50)
+        placer = GordianPlacer(small_circuit.netlist, small_circuit.region, cfg)
+        result = placer.place()
+        # Enough regions that no region can hold more than cut_limit cells.
+        assert result.num_regions >= small_circuit.netlist.num_movable / 50
+
+    def test_history_monotone_levels(self, small_circuit):
+        result = GordianPlacer(small_circuit.netlist, small_circuit.region).place()
+        assert len(result.history) == result.levels
+
+    def test_fixed_cells_untouched(self, small_circuit):
+        nl = small_circuit.netlist
+        result = GordianPlacer(nl, small_circuit.region).place()
+        assert np.allclose(
+            result.placement.x[nl.fixed_indices], nl.fixed_x[nl.fixed_indices]
+        )
+
+    def test_no_movable_rejected(self):
+        b = NetlistBuilder("f")
+        b.add_fixed_cell("p", 1.0, 1.0, x=0.0, y=0.0)
+        region = PlacementRegion.standard_cell(10.0, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            GordianPlacer(b.build(), region)
+
+
+class TestTimberWolf:
+    def test_improves_over_random_start(self, tiny_circuit, rng):
+        nl, region = tiny_circuit.netlist, tiny_circuit.region
+        start = Placement.random(nl, region, rng)
+        cfg = TimberWolfConfig(moves_per_cell=4, max_stages=40)
+        result = TimberWolfPlacer(nl, region, cfg).place(initial=start)
+        assert result.hpwl_m < hpwl_meters(start)
+        assert result.final_cost < result.initial_cost
+
+    def test_cells_in_rows(self, tiny_circuit):
+        nl, region = tiny_circuit.netlist, tiny_circuit.region
+        cfg = TimberWolfConfig(moves_per_cell=2, max_stages=10)
+        result = TimberWolfPlacer(nl, region, cfg).place()
+        row_ys = {row.center_y for row in region.rows}
+        for i in nl.movable_indices:
+            assert float(result.placement.y[i]) in row_ys
+
+    def test_cells_inside_region(self, tiny_circuit):
+        nl, region = tiny_circuit.netlist, tiny_circuit.region
+        cfg = TimberWolfConfig(moves_per_cell=2, max_stages=10)
+        p = TimberWolfPlacer(nl, region, cfg).place().placement
+        b = region.bounds
+        m = nl.movable_mask
+        assert np.all(p.x[m] >= b.xlo) and np.all(p.x[m] <= b.xhi)
+
+    def test_deterministic(self, tiny_circuit):
+        nl, region = tiny_circuit.netlist, tiny_circuit.region
+        cfg = TimberWolfConfig(moves_per_cell=2, max_stages=6, seed=9)
+        a = TimberWolfPlacer(nl, region, cfg).place()
+        b = TimberWolfPlacer(nl, region, cfg).place()
+        assert np.allclose(a.placement.x, b.placement.x)
+
+    def test_net_weights_steer(self, tiny_circuit):
+        nl, region = tiny_circuit.netlist, tiny_circuit.region
+        weights = np.ones(nl.num_nets)
+        weights[0] = 50.0
+        cfg = TimberWolfConfig(moves_per_cell=4, max_stages=30)
+        weighted = TimberWolfPlacer(nl, region, cfg, net_weights=weights).place()
+        plain = TimberWolfPlacer(nl, region, cfg).place()
+        from repro.evaluation import net_hpwl
+
+        assert net_hpwl(weighted.placement)[0] <= net_hpwl(plain.placement)[0] + 1e-6
+
+    def test_rowless_region_rejected(self, tiny_circuit):
+        from repro import Rect
+
+        region = PlacementRegion(bounds=Rect(0, 0, 100, 100))
+        with pytest.raises(ValueError):
+            TimberWolfPlacer(tiny_circuit.netlist, region)
+
+
+class TestSpeed:
+    def test_slack_weights_shape(self, small_circuit, placed_small):
+        sta = StaticTimingAnalyzer(small_circuit.netlist).analyze(
+            placed_small.placement
+        )
+        w = slack_weights(sta, max_weight=6.0)
+        assert w.shape == (small_circuit.netlist.num_nets,)
+        assert w.min() >= 1.0 and w.max() <= 6.0
+        # The most critical net gets (near-)maximal weight.
+        crit = sta.critical_nets(0.03)
+        assert w[crit].min() > 1.5
+
+    def test_speed_improves_timing(self, small_circuit):
+        nl, region = small_circuit.netlist, small_circuit.region
+        analyzer = StaticTimingAnalyzer(nl)
+        plain = GordianPlacer(nl, region).place()
+        without = analyzer.analyze(plain.placement).max_delay_ns
+        speedy = SpeedPlacer(nl, region, SpeedConfig(rounds=2)).place()
+        assert speedy.max_delay_ns <= without * 1.02
+        assert speedy.rounds == 2

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_place_flags(self):
+        args = build_parser().parse_args(
+            ["place", "--circuit", "fract", "--fast", "--net-model", "b2b"]
+        )
+        assert args.circuit == "fract"
+        assert args.fast
+        assert args.net_model == "b2b"
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats", "--circuit", "fract", "--scale", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "cells" in out and "rows" in out
+
+    def test_place_and_timing_and_convert(self, tmp_path, capsys):
+        base = tmp_path / "run" / "fract"
+        rc = main(
+            [
+                "place",
+                "--circuit",
+                "fract",
+                "--scale",
+                "0.5",
+                "--legalize",
+                "--out",
+                str(base),
+                "--svg",
+            ]
+        )
+        assert rc == 0
+        assert base.with_suffix(".netlist").exists()
+        assert base.with_suffix(".placement").exists()
+        assert base.with_suffix(".svg").exists()
+        capsys.readouterr()
+
+        rc = main(
+            [
+                "timing",
+                "--netlist",
+                str(base.with_suffix(".netlist")),
+                "--placement",
+                str(base.with_suffix(".placement")),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "longest path" in out
+
+        rc = main(
+            [
+                "convert",
+                "--netlist",
+                str(base.with_suffix(".netlist")),
+                "--placement",
+                str(base.with_suffix(".placement")),
+                "--bookshelf",
+                str(tmp_path / "bs" / "fract"),
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "bs" / "fract.aux").exists()
+
+    def test_place_without_design_fails(self):
+        with pytest.raises(SystemExit):
+            main(["place"])
+
+    def test_timing_needs_placement(self):
+        with pytest.raises(SystemExit):
+            main(["timing", "--circuit", "fract", "--scale", "0.5"])
+
+    def test_svg_needs_out(self):
+        with pytest.raises(SystemExit):
+            main(["place", "--circuit", "fract", "--scale", "0.5", "--svg"])

@@ -1,0 +1,87 @@
+"""Tests for netlist clustering and the multilevel placement flow."""
+
+import numpy as np
+import pytest
+
+from repro import Placement, hpwl_meters
+from repro.core import MultilevelPlacer, PlacerConfig
+from repro.netlist import cluster_netlist
+
+
+class TestClustering:
+    def test_coarsens(self, small_circuit):
+        nl = small_circuit.netlist
+        clustering = cluster_netlist(nl)
+        assert clustering.coarse.num_movable < nl.num_movable
+        assert clustering.ratio > 1.2
+
+    def test_area_conserved(self, small_circuit):
+        nl = small_circuit.netlist
+        clustering = cluster_netlist(nl)
+        assert clustering.coarse.movable_area() == pytest.approx(
+            nl.movable_area(), rel=1e-9
+        )
+
+    def test_fixed_cells_preserved(self, small_circuit):
+        nl = small_circuit.netlist
+        clustering = cluster_netlist(nl)
+        assert clustering.coarse.num_fixed == nl.num_fixed
+        for cell in nl.cells:
+            if cell.fixed:
+                other = clustering.coarse.cell_by_name(cell.name)
+                assert other.fixed and other.x == cell.x
+
+    def test_mapping_total(self, small_circuit):
+        nl = small_circuit.netlist
+        clustering = cluster_netlist(nl)
+        assert clustering.map_to_coarse.shape == (nl.num_cells,)
+        assert clustering.map_to_coarse.min() >= 0
+        assert clustering.map_to_coarse.max() < clustering.coarse.num_cells
+
+    def test_cluster_area_cap(self, small_circuit):
+        nl = small_circuit.netlist
+        cap = 3.0 * nl.average_movable_area()
+        clustering = cluster_netlist(nl, max_cluster_area=cap)
+        for cell in clustering.coarse.cells:
+            if not cell.fixed:
+                assert cell.area <= cap + 1e-6
+
+    def test_nets_have_one_driver(self, small_circuit):
+        clustering = cluster_netlist(small_circuit.netlist)
+        for net in clustering.coarse.nets:
+            drivers = [p for p in net.pins if p.direction.value == "output"]
+            assert len(drivers) <= 1
+
+    def test_expand_places_members_at_cluster(self, small_circuit, rng):
+        nl = small_circuit.netlist
+        clustering = cluster_netlist(nl)
+        coarse_p = Placement.random(clustering.coarse, small_circuit.region, rng)
+        expanded = clustering.expand(coarse_p)
+        for i in range(nl.num_cells):
+            if nl.cells[i].fixed:
+                continue
+            j = clustering.map_to_coarse[i]
+            assert expanded.x[i] == coarse_p.x[j]
+            assert expanded.y[i] == coarse_p.y[j]
+
+
+class TestMultilevel:
+    def test_places_and_compares_to_flat(self, small_circuit, placed_small):
+        result = MultilevelPlacer(
+            small_circuit.netlist, small_circuit.region, levels=1
+        ).place()
+        assert result.levels >= 1
+        assert result.placement.netlist is small_circuit.netlist
+        # Quality in the same league as the flat run.
+        assert result.hpwl_m < 1.6 * placed_small.hpwl_m
+
+    def test_levels_validation(self, small_circuit):
+        with pytest.raises(ValueError):
+            MultilevelPlacer(small_circuit.netlist, small_circuit.region, levels=0)
+
+    def test_two_levels(self, small_circuit):
+        result = MultilevelPlacer(
+            small_circuit.netlist, small_circuit.region, levels=2
+        ).place()
+        assert result.levels <= 2
+        assert len(result.coarse_results) == result.levels

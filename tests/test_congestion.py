@@ -1,0 +1,85 @@
+"""Tests for routing estimation and congestion-driven placement."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CongestionDrivenPlacer,
+    KraftwerkPlacer,
+    NetlistBuilder,
+    Placement,
+    PlacementRegion,
+    PlacerConfig,
+    ProbabilisticRouter,
+)
+from repro.geometry import Grid
+
+
+@pytest.fixture()
+def region():
+    return PlacementRegion.standard_cell(400.0, 400.0, row_height=10.0)
+
+
+def _two_cell_net(region):
+    b = NetlistBuilder("r")
+    b.add_cell("a", 10.0, 10.0)
+    b.add_cell("bb", 10.0, 10.0)
+    b.add_net("n", [("a", "output"), ("bb", "input")])
+    nl = b.build()
+    p = Placement(nl, np.array([100.0, 300.0]), np.array([200.0, 200.0]))
+    return nl, p
+
+
+class TestRouter:
+    def test_demand_inside_bbox(self, region):
+        nl, p = _two_cell_net(region)
+        router = ProbabilisticRouter(region, bins=8, wire_pitch=4.0)
+        est = router.estimate(p)
+        # Total wiring area = hpwl * pitch = 200 * 4.
+        assert est.demand.sum() == pytest.approx(800.0, rel=1e-6)
+        # Demand concentrated in the bbox row (y = 200 -> bin row 4).
+        assert est.demand[4, :].sum() > 0.9 * est.demand.sum()
+
+    def test_weights_scale_demand(self, region):
+        nl, p = _two_cell_net(region)
+        router = ProbabilisticRouter(region, bins=8)
+        plain = router.estimate(p).demand.sum()
+        weighted = router.estimate(p, net_weights=np.array([3.0])).demand.sum()
+        assert weighted == pytest.approx(3.0 * plain)
+
+    def test_overflow_and_utilization(self, region):
+        nl, p = _two_cell_net(region)
+        router = ProbabilisticRouter(region, bins=8, capacity_layers=1e-6)
+        est = router.estimate(p)
+        assert est.total_overflow > 0.0
+        assert est.max_utilization > 1.0
+        loose = ProbabilisticRouter(region, bins=8, capacity_layers=100.0).estimate(p)
+        assert loose.total_overflow == 0.0
+
+    def test_degenerate_net_still_claims_area(self, region):
+        b = NetlistBuilder("deg")
+        b.add_cell("a", 10.0, 10.0)
+        b.add_cell("bb", 10.0, 10.0)
+        b.add_net("n", [("a", "output"), ("bb", "input")])
+        nl = b.build()
+        # Horizontal net: zero bbox height.
+        p = Placement(nl, np.array([50.0, 350.0]), np.array([200.0, 200.0]))
+        est = ProbabilisticRouter(region, bins=8).estimate(p)
+        assert est.demand.sum() > 0.0
+
+
+class TestCongestionDriven:
+    def test_reduces_overflow(self, small_circuit):
+        nl, region = small_circuit.netlist, small_circuit.region
+        cfg = PlacerConfig()
+        driven = CongestionDrivenPlacer(
+            nl, region, cfg, capacity_layers=0.5, congestion_weight=2.0
+        )
+        result = driven.place()
+        base = KraftwerkPlacer(nl, region, cfg).place()
+        base_est = driven.router.estimate(base.placement)
+        assert result.total_overflow <= base_est.total_overflow * 1.05
+
+    def test_router_shares_density_grid(self, small_circuit):
+        driven = CongestionDrivenPlacer(small_circuit.netlist, small_circuit.region)
+        assert driven.router.grid is driven.placer.force_calc.density_model.grid

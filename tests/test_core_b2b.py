@@ -1,0 +1,94 @@
+"""Tests for the bound-to-bound net model."""
+
+import numpy as np
+import pytest
+
+from repro import NetlistBuilder, Placement, PlacementRegion, PlacerConfig
+from repro.core import B2BSystem, KraftwerkPlacer, conjugate_gradient
+from repro.evaluation import hpwl
+
+
+class TestB2BEnergy:
+    def _three_pin(self):
+        b = NetlistBuilder("b2b")
+        b.add_fixed_cell("p0", 1.0, 1.0, x=0.0, y=0.0)
+        b.add_cell("a", 10.0, 10.0)
+        b.add_cell("bb", 10.0, 10.0)
+        b.add_net("n", [("p0", "output"), ("a", "input"), ("bb", "input")])
+        return b.build()
+
+    def test_gradient_matches_hpwl_gradient(self):
+        """At the assembly placement the B2B residual is the HPWL gradient.
+
+        This is the defining property of the model: with weights
+        ``w = 1 / ((p-1) d)`` the quadratic system's gradient ``A x - b`` at
+        the build point equals d(HPWL)/dx — +1 on the boundary-max cell, -1
+        on the boundary-min cell, 0 on inner pins (per unit net weight).
+        """
+        nl = self._three_pin()
+        p = Placement(nl, np.array([0.0, 300.0, 700.0]), np.zeros(3))
+        system = B2BSystem(nl).assemble_at(p)
+        x, _y = B2BSystem(nl).vars_from_placement(p)
+        residual = system.Ax @ x - system.bx
+        # cell 'a' (var 0) is an inner pin: zero gradient; 'bb' (var 1) is
+        # the max boundary: gradient +1.
+        assert residual[0] == pytest.approx(0.0, abs=1e-9)
+        assert residual[1] == pytest.approx(1.0, rel=1e-9)
+
+    def test_two_pin_equilibrium(self):
+        b = NetlistBuilder("two")
+        b.add_fixed_cell("p0", 1.0, 1.0, x=0.0, y=0.0)
+        b.add_fixed_cell("p1", 1.0, 1.0, x=90.0, y=0.0)
+        b.add_cell("a", 10.0, 10.0)
+        b.add_net("n0", [("p0", "output"), ("a", "input")])
+        b.add_net("n1", [("a", "output"), ("p1", "input")])
+        nl = b.build()
+        p = Placement(nl, np.array([0.0, 90.0, 30.0]), np.zeros(3))
+        system = B2BSystem(nl).assemble_at(p)
+        x = conjugate_gradient(system.Ax, system.bx, tol=1e-12).x
+        # Weights: n0 1/30, n1 1/60 -> equilibrium at weighted mean:
+        # (0*(1/30) + 90*(1/60)) / (1/30 + 1/60) = 30.
+        assert x[0] == pytest.approx(30.0, rel=1e-6)
+
+    def test_symmetric_spd(self, small_circuit, placed_small):
+        system = B2BSystem(small_circuit.netlist).assemble_at(
+            placed_small.placement, anchor_weight=1e-6
+        )
+        assert (abs(system.Ax - system.Ax.T)).max() < 1e-12
+        assert system.Ax.diagonal().min() > 0
+
+    def test_weight_length_check(self, small_circuit, placed_small):
+        with pytest.raises(ValueError):
+            B2BSystem(small_circuit.netlist).assemble_at(
+                placed_small.placement, net_weights=np.ones(3)
+            )
+
+    def test_coincident_pins_handled(self):
+        nl = self._three_pin()
+        p = Placement(nl, np.zeros(3), np.zeros(3))
+        system = B2BSystem(nl).assemble_at(p)
+        x = conjugate_gradient(system.Ax, system.bx, tol=1e-10)
+        assert x.converged
+
+
+class TestB2BPlacement:
+    def test_placer_runs_with_b2b(self, small_circuit):
+        cfg = PlacerConfig(net_model="b2b", max_iterations=30)
+        result = KraftwerkPlacer(
+            small_circuit.netlist, small_circuit.region, cfg
+        ).place()
+        assert result.iterations >= 1
+        assert result.hpwl_m > 0
+
+    def test_b2b_quality_comparable_to_clique(self, small_circuit):
+        clique = KraftwerkPlacer(
+            small_circuit.netlist, small_circuit.region, PlacerConfig()
+        ).place()
+        b2b = KraftwerkPlacer(
+            small_circuit.netlist, small_circuit.region, PlacerConfig(net_model="b2b")
+        ).place()
+        assert b2b.hpwl_m < 2.0 * clique.hpwl_m
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ValueError):
+            PlacerConfig(net_model="hyperedge")

@@ -1,0 +1,94 @@
+"""Focused tests for the force calculator (density → field → cell forces)."""
+
+import numpy as np
+import pytest
+
+from repro import NetlistBuilder, Placement, PlacementRegion
+from repro.core.forces import ForceCalculator
+
+
+@pytest.fixture()
+def region():
+    return PlacementRegion.standard_cell(200.0, 200.0, row_height=10.0)
+
+
+def _grid_cells(n: int):
+    b = NetlistBuilder("f")
+    for i in range(n):
+        b.add_cell(f"c{i}", 10.0, 10.0)
+    return b.build()
+
+
+class TestForceDirections:
+    def test_clump_pushes_outward(self, region):
+        nl = _grid_cells(9)
+        calc = ForceCalculator(nl, region)
+        # 3x3 clump at the center, one probe cell to the right.
+        xs = np.array([95.0, 100.0, 105.0] * 3)
+        ys = np.array([95.0] * 3 + [100.0] * 3 + [105.0] * 3)
+        p = Placement(nl, xs, ys)
+        forces = calc.compute(p, K=0.2)
+        # Left-column cells pushed left, right-column pushed right.
+        assert forces.fx[0] < 0 < forces.fx[2]
+        assert forces.fy[0] < 0 < forces.fy[8]
+
+    def test_even_grid_small_forces(self, region):
+        # 20x20 cells exactly tiling 200x200: density is flat, unevenness ~0.
+        b = NetlistBuilder("even")
+        for i in range(400):
+            b.add_cell(f"c{i}", 10.0, 10.0)
+        nl = b.build()
+        xs = np.array([5.0 + 10.0 * (i % 20) for i in range(400)])
+        ys = np.array([5.0 + 10.0 * (i // 20) for i in range(400)])
+        p = Placement(nl, xs, ys)
+        calc = ForceCalculator(nl, region)
+        forces = calc.compute(p, K=0.2)
+        assert forces.unevenness < 0.05
+        assert forces.max_magnitude() < 0.1 * calc.reference_force(0.2)
+
+
+class TestExtraDemand:
+    def test_extra_demand_repels(self, region):
+        nl = _grid_cells(4)
+        calc = ForceCalculator(nl, region)
+        p = Placement(
+            nl,
+            np.array([60.0, 80.0, 120.0, 140.0]),
+            np.full(4, 100.0),
+        )
+        plain = calc.compute(p, K=0.2)
+        # Inject heavy demand in the left half; cells there get pushed right
+        # relative to the plain field.
+        extra = np.zeros(calc.density_model.grid.shape)
+        extra[:, : extra.shape[1] // 3] = calc.density_model.grid.bin_area * 3
+        loaded = calc.compute(p, K=0.2, extra_demand=extra)
+        assert loaded.fx[0] > plain.fx[0]
+
+    def test_scale_recorded(self, region):
+        nl = _grid_cells(5)
+        calc = ForceCalculator(nl, region)
+        p = Placement(nl, np.full(5, 100.0), np.full(5, 100.0))
+        forces = calc.compute(p, K=0.2)
+        assert forces.scale > 0.0
+        assert forces.density.demand.sum() == pytest.approx(nl.total_cell_area())
+
+
+class TestCliRoute:
+    def test_route_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        base = tmp_path / "d"
+        main(["place", "--circuit", "fract", "--scale", "0.5", "--out", str(base)])
+        capsys.readouterr()
+        rc = main(
+            [
+                "route",
+                "--netlist", str(base.with_suffix(".netlist")),
+                "--placement", str(base.with_suffix(".placement")),
+                "--svg", str(tmp_path / "cong.svg"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "routed wirelength" in out
+        assert (tmp_path / "cong.svg").exists()

@@ -1,0 +1,133 @@
+"""Tests for the quadratic system assembly (clique/star, fixed folding)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import NetlistBuilder, Placement, PlacementRegion
+from repro.core import QuadraticSystem, conjugate_gradient
+from repro.core.quadratic import AssembledSystem
+
+
+def _solve(system: AssembledSystem):
+    x = conjugate_gradient(system.Ax, system.bx, tol=1e-12).x
+    y = conjugate_gradient(system.Ay, system.by, tol=1e-12).x
+    return x, y
+
+
+class TestTwoPinChain:
+    """pad(0) -- a -- b -- pad(100): equilibrium is analytic."""
+
+    def test_equilibrium_positions(self, four_cell_netlist):
+        qs = QuadraticSystem(four_cell_netlist)
+        system = qs.assemble()
+        x, _ = _solve(system)
+        # Equal springs in series: cells sit at 1/3 and 2/3.
+        assert x[0] == pytest.approx(100.0 / 3.0, rel=1e-6)
+        assert x[1] == pytest.approx(200.0 / 3.0, rel=1e-6)
+
+    def test_matrix_symmetric(self, four_cell_netlist):
+        system = QuadraticSystem(four_cell_netlist).assemble()
+        diff = (system.Ax - system.Ax.T).toarray()
+        assert np.abs(diff).max() < 1e-12
+
+    def test_net_weight_shifts_equilibrium(self, four_cell_netlist):
+        qs = QuadraticSystem(four_cell_netlist)
+        w = np.array([10.0, 1.0, 1.0])  # n1 (pad-a) very stiff
+        x, _ = _solve(qs.assemble(net_weights=w))
+        assert x[0] < 10.0  # a pulled hard toward the left pad
+
+    def test_axis_linearization_factors(self, four_cell_netlist):
+        qs = QuadraticSystem(four_cell_netlist)
+        lin_x = np.array([10.0, 1.0, 1.0])
+        lin_y = np.ones(3)
+        sys_lin = qs.assemble(lin_x=lin_x, lin_y=lin_y)
+        x, _ = _solve(sys_lin)
+        assert x[0] < 100.0 / 3.0
+
+    def test_anchor_pulls_to_center(self, four_cell_netlist):
+        qs = QuadraticSystem(four_cell_netlist)
+        system = qs.assemble(anchor_weight=1e6, anchor_xy=(77.0, 33.0))
+        x, y = _solve(system)
+        assert np.allclose(x, 77.0, atol=1e-3)
+        assert np.allclose(y, 33.0, atol=1e-3)
+
+    def test_forces_shift_solution(self, four_cell_netlist):
+        qs = QuadraticSystem(four_cell_netlist)
+        system = qs.assemble()
+        fx, fy = qs.forces_to_vars(np.array([1.0, 0.0]), np.zeros(2))
+        x0, _ = _solve(system)
+        x1 = conjugate_gradient(system.Ax, system.bx + fx, tol=1e-12).x
+        assert x1[0] > x0[0]  # +x force moves cell a right
+
+
+class TestStarModel:
+    def _ring(self, k: int, clique_threshold: int):
+        b = NetlistBuilder("star")
+        b.add_fixed_cell("p", 1.0, 1.0, x=0.0, y=0.0)
+        for i in range(k):
+            b.add_cell(f"c{i}", 4.0, 4.0)
+        pins = [("p", "output")] + [(f"c{i}", "input") for i in range(k)]
+        b.add_net("big", pins)
+        # Anchor each cell to a distinct fixed pad so the optimum is unique.
+        for i in range(k):
+            b.add_fixed_cell(f"q{i}", 1.0, 1.0, x=10.0 * (i + 1), y=5.0)
+            b.add_net(f"t{i}", [(f"c{i}", "output"), (f"q{i}", "input")])
+        return b.build()
+
+    def test_star_equals_clique_optimum(self):
+        nl = self._ring(6, clique_threshold=10)
+        clique = QuadraticSystem(nl, clique_threshold=10)
+        star = QuadraticSystem(nl, clique_threshold=3)
+        assert clique.n_stars == 0
+        assert star.n_stars == 1
+        xc, yc = _solve(clique.assemble())
+        xs, ys = _solve(star.assemble())
+        # The star's cell coordinates must match the clique optimum.
+        n = clique.n_movable
+        assert np.allclose(xc[:n], xs[:n], atol=1e-6)
+        assert np.allclose(yc[:n], ys[:n], atol=1e-6)
+
+    def test_star_vertex_at_centroid_init(self):
+        nl = self._ring(5, clique_threshold=3)
+        qs = QuadraticSystem(nl, clique_threshold=3)
+        region = PlacementRegion.standard_cell(100.0, 100.0, 10.0)
+        p = Placement.at_center(nl, region)
+        x, y = qs.vars_from_placement(p)
+        assert len(x) == qs.n_vars == qs.n_movable + 1
+        big = nl.net_by_name("big")
+        pin_cells = [pin.cell for pin in big.pins]
+        assert x[-1] == pytest.approx(np.mean(p.x[pin_cells]))
+
+
+class TestPlacementConversion:
+    def test_round_trip(self, tiny_circuit, rng):
+        nl = tiny_circuit.netlist
+        qs = QuadraticSystem(nl)
+        p = Placement.random(nl, tiny_circuit.region, rng)
+        x, y = qs.vars_from_placement(p)
+        q = qs.placement_from_vars(x, y, p)
+        assert np.allclose(q.x, p.x)
+        assert np.allclose(q.y, p.y)
+
+    def test_invalid_weight_length(self, four_cell_netlist):
+        qs = QuadraticSystem(four_cell_netlist)
+        with pytest.raises(ValueError):
+            qs.assemble(net_weights=np.ones(99))
+
+    def test_invalid_threshold(self, four_cell_netlist):
+        with pytest.raises(ValueError):
+            QuadraticSystem(four_cell_netlist, clique_threshold=1)
+
+
+class TestPinOffsets:
+    def test_offsets_shift_equilibrium(self):
+        b = NetlistBuilder("off")
+        b.add_fixed_cell("p", 1.0, 1.0, x=0.0, y=0.0)
+        b.add_cell("a", 4.0, 4.0)
+        # Pin at +3 in x from a's center: equilibrium center is -3.
+        b.add_net("n", [("p", "output"), ("a", "input", 3.0, 0.0)])
+        nl = b.build()
+        system = QuadraticSystem(nl).assemble()
+        x, _ = _solve(system)
+        assert x[0] == pytest.approx(-3.0, abs=1e-9)

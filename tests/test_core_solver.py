@@ -1,0 +1,98 @@
+"""Tests for the preconditioned CG and KKT solvers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import conjugate_gradient, solve_kkt, solve_spd
+
+
+def _random_spd(n: int, rng: np.random.Generator) -> sp.csr_matrix:
+    """Diagonally dominant sparse SPD matrix."""
+    density = 0.1
+    A = sp.random(n, n, density=density, random_state=np.random.RandomState(int(rng.integers(1 << 30))))
+    A = (A + A.T) * 0.5
+    A = A + sp.identity(n) * (np.abs(A).sum(axis=1).max() + 1.0)
+    return A.tocsr()
+
+
+class TestConjugateGradient:
+    def test_identity(self):
+        A = sp.identity(5, format="csr")
+        b = np.arange(5.0)
+        r = conjugate_gradient(A, b)
+        assert r.converged
+        assert np.allclose(r.x, b)
+
+    def test_matches_direct_solve(self, rng):
+        A = _random_spd(60, rng)
+        b = rng.normal(size=60)
+        r = conjugate_gradient(A, b, tol=1e-10)
+        direct = sp.linalg.spsolve(A.tocsc(), b)
+        assert r.converged
+        assert np.allclose(r.x, direct, atol=1e-7)
+
+    def test_matches_scipy_cg(self, rng):
+        A = _random_spd(40, rng)
+        b = rng.normal(size=40)
+        ours = conjugate_gradient(A, b, tol=1e-10).x
+        try:
+            scipy_x, info = sp.linalg.cg(A, b, rtol=1e-10)
+        except TypeError:  # older scipy uses tol=
+            scipy_x, info = sp.linalg.cg(A, b, tol=1e-10)
+        assert info == 0
+        assert np.allclose(ours, scipy_x, atol=1e-6)
+
+    def test_warm_start_converges_fast(self, rng):
+        A = _random_spd(50, rng)
+        b = rng.normal(size=50)
+        x = conjugate_gradient(A, b, tol=1e-12).x
+        r = conjugate_gradient(A, b, x0=x, tol=1e-10)
+        assert r.iterations <= 2
+
+    def test_zero_rhs(self):
+        A = sp.identity(4, format="csr")
+        r = conjugate_gradient(A, np.zeros(4))
+        assert r.converged and np.allclose(r.x, 0.0)
+
+    def test_shape_checks(self):
+        A = sp.identity(4, format="csr")
+        with pytest.raises(ValueError):
+            conjugate_gradient(A, np.zeros(5))
+        B = sp.random(3, 4, density=0.5).tocsr()
+        with pytest.raises(ValueError):
+            conjugate_gradient(B, np.zeros(3))
+
+    def test_nonpositive_diagonal_rejected(self):
+        A = sp.diags([0.0, 1.0, 1.0]).tocsr()
+        with pytest.raises(ValueError):
+            conjugate_gradient(A, np.ones(3))
+
+
+class TestSolveSpd:
+    def test_fallback_path(self, rng):
+        A = _random_spd(30, rng)
+        b = rng.normal(size=30)
+        x = solve_spd(A, b, tol=1e-10, max_iter=1)  # force CG to stall
+        assert np.allclose(A @ x, b, atol=1e-6)
+
+
+class TestSolveKkt:
+    def test_equality_constrained_quadratic(self):
+        # min 1/2 x^T I x - [1,2,3] x  s.t.  x0 + x1 + x2 = 0
+        C = sp.identity(3, format="csr")
+        d = -np.array([1.0, 2.0, 3.0])
+        A = sp.csr_matrix(np.ones((1, 3)))
+        u = np.array([0.0])
+        x = solve_kkt(C, d, A, u)
+        assert x.sum() == pytest.approx(0.0, abs=1e-9)
+        # Analytic solution: x = b - mean(b)
+        assert np.allclose(x, np.array([1.0, 2.0, 3.0]) - 2.0)
+
+    def test_constraint_enforced(self, rng):
+        C = _random_spd(10, rng)
+        d = rng.normal(size=10)
+        A = sp.csr_matrix(rng.normal(size=(2, 10)))
+        u = rng.normal(size=2)
+        x = solve_kkt(C, d, A, u)
+        assert np.allclose(A @ x, u, atol=1e-8)

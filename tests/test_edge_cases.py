@@ -1,0 +1,165 @@
+"""Edge-case tests across modules: degenerate inputs, boundary conditions."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    KraftwerkPlacer,
+    NetlistBuilder,
+    Placement,
+    PlacementRegion,
+    PlacerConfig,
+)
+from repro.core import QuadraticSystem, conjugate_gradient
+from repro.netlist import cluster_netlist, load_bookshelf, save_bookshelf
+from repro.timing import StaticTimingAnalyzer, build_timing_graph
+
+
+class TestDegenerateNetlists:
+    def test_single_movable_cell(self):
+        b = NetlistBuilder("one")
+        b.add_fixed_cell("p", 1.0, 1.0, x=10.0, y=10.0)
+        b.add_cell("a", 5.0, 5.0)
+        b.add_net("n", [("p", "output"), ("a", "input")])
+        nl = b.build()
+        region = PlacementRegion.standard_cell(50.0, 50.0, 5.0)
+        result = KraftwerkPlacer(nl, region, PlacerConfig(max_iterations=5)).place()
+        # The lone cell ends near its pad.
+        a = nl.cell_by_name("a").index
+        assert abs(result.placement.x[a] - 10.0) < 25.0
+
+    def test_no_nets_at_all(self):
+        # 100 cells, 80% utilization: pure density spreading must still
+        # distribute the cells (no springs involved at all).
+        b = NetlistBuilder("silent")
+        for i in range(100):
+            b.add_cell(f"c{i}", 8.0, 8.0)
+        nl = b.build()
+        region = PlacementRegion.standard_cell(100.0, 80.0, 8.0)
+        result = KraftwerkPlacer(nl, region, PlacerConfig(max_iterations=30)).place()
+        from repro.evaluation import distribution_stats
+
+        stats = distribution_stats(result.placement, region)
+        assert stats.max_density < 3.0
+
+    def test_self_loop_pins_same_cell(self):
+        b = NetlistBuilder("loop")
+        b.add_cell("a", 5.0, 5.0)
+        b.add_cell("bb", 5.0, 5.0)
+        # A net landing twice on the same cell (feedthrough style).
+        b.add_net("n", [("a", "output"), ("a", "input", 2.0, 0.0), ("bb", "input")])
+        nl = b.build()
+        system = QuadraticSystem(nl).assemble(anchor_weight=1e-3, anchor_xy=(0, 0))
+        result = conjugate_gradient(system.Ax, system.bx, tol=1e-9)
+        assert result.converged
+
+    def test_all_cells_fixed_but_nets_exist(self):
+        b = NetlistBuilder("allfixed")
+        b.add_fixed_cell("p0", 1.0, 1.0, x=0.0, y=0.0)
+        b.add_fixed_cell("p1", 1.0, 1.0, x=10.0, y=0.0)
+        b.add_net("n", [("p0", "output"), ("p1", "input")])
+        nl = b.build()
+        region = PlacementRegion.standard_cell(20.0, 20.0, 5.0)
+        with pytest.raises(ValueError):
+            KraftwerkPlacer(nl, region)
+
+
+class TestTimingEdges:
+    def test_degree_exactly_at_limit_kept(self):
+        b = NetlistBuilder("deg")
+        for i in range(5):
+            b.add_cell(f"c{i}", 1.0, 1.0, delay=0.1)
+        b.add_net("n", [(f"c{i}", "output" if i == 0 else "input") for i in range(5)])
+        g_keep = build_timing_graph(b.build(), max_timing_degree=5)
+        assert g_keep.num_arcs == 4
+        g_drop = build_timing_graph(b.build(), max_timing_degree=4)
+        assert g_drop.num_arcs == 0
+
+    def test_empty_graph_analysis(self):
+        b = NetlistBuilder("empty")
+        b.add_cell("a", 1.0, 1.0, delay=0.7)
+        b.add_cell("bb", 1.0, 1.0, delay=0.2)
+        b.add_net("n", ["a", "bb"])  # no driver -> no arcs
+        nl = b.build()
+        analyzer = StaticTimingAnalyzer(nl)
+        sta = analyzer.analyze(net_delays_ns=np.zeros(1))
+        # Isolated cells still report their intrinsic delay.
+        assert sta.max_delay_ns == pytest.approx(0.7)
+        assert sta.critical_path == []
+
+
+class TestClusteringEdges:
+    def test_unconnected_cells_stay_separate(self):
+        b = NetlistBuilder("uncon")
+        for i in range(8):
+            b.add_cell(f"c{i}", 5.0, 5.0)
+        nl = b.build()
+        clustering = cluster_netlist(nl)
+        assert clustering.coarse.num_movable == 8  # nothing to match on
+
+    def test_two_pin_chain_halves(self):
+        b = NetlistBuilder("chain")
+        for i in range(8):
+            b.add_cell(f"c{i}", 5.0, 5.0)
+        for i in range(7):
+            b.add_net(f"n{i}", [(f"c{i}", "output"), (f"c{i+1}", "input")])
+        nl = b.build()
+        clustering = cluster_netlist(nl)
+        assert clustering.coarse.num_movable <= 4 + 1
+
+
+class TestBookshelfHandWritten:
+    def test_minimal_files(self, tmp_path):
+        (tmp_path / "d.aux").write_text(
+            "RowBasedPlacement : d.nodes d.nets d.pl d.scl\n"
+        )
+        (tmp_path / "d.nodes").write_text(
+            "UCLA nodes 1.0\n"
+            "NumNodes : 3\n"
+            "NumTerminals : 1\n"
+            "  a 8 10\n"
+            "  bb 8 10\n"
+            "  pad 1 1 terminal\n"
+        )
+        (tmp_path / "d.nets").write_text(
+            "UCLA nets 1.0\n"
+            "NumNets : 1\n"
+            "NumPins : 3\n"
+            "NetDegree : 3  n0\n"
+            "  a O : 0 0\n"
+            "  bb I : 0 0\n"
+            "  pad I : 0 0\n"
+        )
+        (tmp_path / "d.pl").write_text(
+            "UCLA pl 1.0\n"
+            "a 0 0 : N\n"
+            "bb 20 0 : N\n"
+            "pad 50 0 : N /FIXED\n"
+        )
+        (tmp_path / "d.scl").write_text(
+            "UCLA scl 1.0\n"
+            "NumRows : 2\n"
+            "CoreRow Horizontal\n"
+            "  Coordinate : 0\n"
+            "  Height : 10\n"
+            "  Sitewidth : 1\n"
+            "  Sitespacing : 1\n"
+            "  SubrowOrigin : 0  NumSites : 100\n"
+            "End\n"
+            "CoreRow Horizontal\n"
+            "  Coordinate : 10\n"
+            "  Height : 10\n"
+            "  Sitewidth : 1\n"
+            "  Sitespacing : 1\n"
+            "  SubrowOrigin : 0  NumSites : 100\n"
+            "End\n"
+        )
+        nl, region, placement = load_bookshelf(tmp_path / "d.aux")
+        assert nl.num_cells == 3
+        assert nl.num_fixed == 1
+        assert region.num_rows == 2
+        assert region.bounds.width == pytest.approx(100.0)
+        a = nl.cell_by_name("a")
+        assert placement.x[a.index] == pytest.approx(4.0)  # lower-left + w/2
+        net = nl.nets[0]
+        assert nl.cells[net.driver.cell].name == "a"

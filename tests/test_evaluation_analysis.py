@@ -1,0 +1,97 @@
+"""Tests for MST wirelength and the analysis/summary helpers."""
+
+import numpy as np
+import pytest
+
+from repro import NetlistBuilder, Placement
+from repro.evaluation import (
+    compare_placements,
+    hpwl,
+    load_summary_json,
+    mst_wirelength,
+    net_hpwl,
+    net_mst_length,
+    save_summary_json,
+    summarize_placement,
+)
+
+
+class TestMstLength:
+    def test_two_pin_equals_hpwl(self, four_cell_netlist, four_cell_region):
+        p = Placement.at_center(four_cell_netlist, four_cell_region)
+        assert np.allclose(net_mst_length(p), net_hpwl(p))
+
+    def test_three_collinear_pins(self):
+        b = NetlistBuilder("mst")
+        for i in range(3):
+            b.add_cell(f"c{i}", 2.0, 2.0)
+        b.add_net("n", [("c0", "output"), ("c1", "input"), ("c2", "input")])
+        nl = b.build()
+        p = Placement(nl, np.array([0.0, 50.0, 100.0]), np.zeros(3))
+        # Collinear: MST = HPWL = 100.
+        assert net_mst_length(p)[0] == pytest.approx(100.0)
+
+    def test_l_shape_exceeds_hpwl(self):
+        b = NetlistBuilder("mst")
+        for i in range(4):
+            b.add_cell(f"c{i}", 2.0, 2.0)
+        b.add_net("n", [(f"c{i}", "output" if i == 0 else "input") for i in range(4)])
+        nl = b.build()
+        # Four corners of a square: HPWL = 200, MST = 300.
+        p = Placement(
+            nl, np.array([0.0, 100.0, 0.0, 100.0]), np.array([0.0, 0.0, 100.0, 100.0])
+        )
+        assert net_hpwl(p)[0] == pytest.approx(200.0)
+        assert net_mst_length(p)[0] == pytest.approx(300.0)
+
+    def test_mst_at_least_hpwl(self, small_circuit, placed_small):
+        mst = net_mst_length(placed_small.placement)
+        hp = net_hpwl(placed_small.placement)
+        assert np.all(mst >= hp - 1e-6)
+
+    def test_big_net_fallback(self, small_circuit, placed_small):
+        mst = net_mst_length(placed_small.placement, max_degree=2)
+        hp = net_hpwl(placed_small.placement)
+        degrees = np.array([n.degree for n in small_circuit.netlist.nets])
+        big = degrees > 2
+        assert np.allclose(mst[big], hp[big])
+
+
+class TestSummary:
+    def test_summarize(self, small_circuit, placed_small):
+        s = summarize_placement(placed_small.placement, small_circuit.region)
+        assert s.cells == small_circuit.netlist.num_cells
+        assert s.hpwl_m == pytest.approx(placed_small.hpwl_m)
+        assert s.mst_m >= s.hpwl_m * 0.99
+        assert s.max_delay_ns is None
+
+    def test_summarize_with_timing(self, small_circuit, placed_small):
+        s = summarize_placement(
+            placed_small.placement, small_circuit.region, with_timing=True
+        )
+        assert s.max_delay_ns > 0
+
+    def test_json_round_trip(self, small_circuit, placed_small, tmp_path):
+        s = summarize_placement(placed_small.placement, small_circuit.region)
+        path = tmp_path / "summary.json"
+        save_summary_json(s, path)
+        loaded = load_summary_json(path)
+        assert loaded["hpwl_m"] == pytest.approx(s.hpwl_m)
+        assert loaded["circuit"] == s.circuit
+
+
+class TestCompare:
+    def test_identity(self, placed_small):
+        diff = compare_placements(placed_small.placement, placed_small.placement)
+        assert diff.mean_displacement == 0.0
+        assert diff.moved_fraction == 0.0
+        assert diff.hpwl_delta_percent == 0.0
+
+    def test_shift_detected(self, small_circuit, placed_small):
+        moved = placed_small.placement.copy()
+        nl = small_circuit.netlist
+        i = nl.movable_indices[0]
+        moved.x[i] += 500.0
+        diff = compare_placements(placed_small.placement, moved)
+        assert diff.max_displacement == pytest.approx(500.0)
+        assert 0 < diff.moved_fraction <= 1.0 / nl.num_movable + 1e-9

@@ -1,0 +1,77 @@
+"""Tests for overlap metrics, density stats and the stopping criterion."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    NetlistBuilder,
+    Placement,
+    PlacementRegion,
+    distribution_stats,
+    is_evenly_distributed,
+    overlap_ratio,
+    total_overlap,
+)
+from repro.evaluation import occupancy_map
+
+
+def _grid_netlist(n: int, size: float = 10.0):
+    b = NetlistBuilder("grid")
+    for i in range(n):
+        b.add_cell(f"c{i}", size, size)
+    return b.build()
+
+
+class TestTotalOverlap:
+    def test_disjoint(self):
+        nl = _grid_netlist(4)
+        xs = np.array([5.0, 25.0, 45.0, 65.0])
+        ys = np.full(4, 5.0)
+        p = Placement(nl, xs, ys)
+        assert total_overlap(p) == 0.0
+
+    def test_full_stack(self):
+        nl = _grid_netlist(3)
+        p = Placement(nl, np.full(3, 5.0), np.full(3, 5.0))
+        # 3 coincident 10x10 cells -> 3 pairs * 100
+        assert total_overlap(p) == pytest.approx(300.0)
+
+    def test_partial(self):
+        nl = _grid_netlist(2)
+        p = Placement(nl, np.array([5.0, 10.0]), np.array([5.0, 5.0]))
+        assert total_overlap(p) == pytest.approx(50.0)
+
+    def test_overlap_ratio(self):
+        nl = _grid_netlist(2)
+        p = Placement(nl, np.array([5.0, 5.0]), np.array([5.0, 5.0]))
+        assert overlap_ratio(p) == pytest.approx(0.5)
+
+
+class TestDistribution:
+    def test_even_grid_is_distributed(self):
+        nl = _grid_netlist(16)
+        region = PlacementRegion.standard_cell(40.0, 40.0, 10.0)
+        xs = np.array([5.0 + 10.0 * (i % 4) for i in range(16)])
+        ys = np.array([5.0 + 10.0 * (i // 4) for i in range(16)])
+        p = Placement(nl, xs, ys)
+        stats = distribution_stats(p, region)
+        assert stats.max_density == pytest.approx(1.0, rel=0.05)
+        assert stats.overflow_area == pytest.approx(0.0, abs=1e-6)
+        assert is_evenly_distributed(p, region)
+
+    def test_clumped_not_distributed(self):
+        nl = _grid_netlist(16)
+        region = PlacementRegion.standard_cell(80.0, 80.0, 10.0)
+        p = Placement(nl, np.full(16, 5.0), np.full(16, 5.0))
+        stats = distribution_stats(p, region)
+        assert stats.max_density > 2.0
+        assert stats.empty_square_ratio > 4.0
+        assert not is_evenly_distributed(p, region)
+
+    def test_occupancy_map_conserves_area(self):
+        nl = _grid_netlist(5)
+        region = PlacementRegion.standard_cell(50.0, 50.0, 10.0)
+        xs = np.array([5.0, 15.0, 25.0, 35.0, 45.0])
+        p = Placement(nl, xs, np.full(5, 25.0))
+        occ = occupancy_map(p, region)
+        assert occ.sum() == pytest.approx(5 * 100.0)

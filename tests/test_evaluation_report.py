@@ -1,0 +1,47 @@
+"""Tests for the report table formatting helpers."""
+
+import pytest
+
+from repro.evaluation import format_markdown_table, format_table, percent_improvement
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        out = format_table(
+            ["circuit", "wl"], [["fract", 0.12345], ["biomed", 1.5]], float_digits=3
+        )
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "0.123" in lines[2]
+        assert "1.500" in lines[3]
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_none_renders_dash(self):
+        out = format_table(["a"], [[None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_markdown(self):
+        out = format_markdown_table(["a", "b"], [[1, 2.0]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2].startswith("| 1 | 2.000")
+
+
+class TestPercentImprovement:
+    def test_positive_when_better(self):
+        assert percent_improvement(baseline=10.0, ours=9.0) == pytest.approx(10.0)
+
+    def test_negative_when_worse(self):
+        assert percent_improvement(baseline=10.0, ours=11.0) == pytest.approx(-10.0)
+
+    def test_zero_baseline(self):
+        with pytest.raises(ValueError):
+            percent_improvement(0.0, 1.0)

@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs end to end at tiny scale."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["fract", "0.5"], "final placement"),
+    ("timing_driven_flow.py", ["fract", "0.5"], "trade-off curve"),
+    ("eco_incremental.py", ["fract", "0.5"], "disturbance"),
+    ("floorplanning_mixed.py", ["0.06", "3"], "floorplanned"),
+    ("congestion_and_heat.py", ["fract", "0.5"], "heat-driven"),
+    ("multilevel_and_viz.py", ["fract", "0.5"], "multilevel"),
+    ("baseline_comparison.py", ["fract", "0.3"], "vs best"),
+    ("gate_sizing.py", ["fract", "0.4"], "via gate sizing"),
+]
+
+
+@pytest.mark.parametrize(
+    "script,args,expected", CASES, ids=[c[0] for c in CASES]
+)
+def test_example_runs(script, args, expected, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=tmp_path,  # examples that write ./out/ stay out of the repo
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout

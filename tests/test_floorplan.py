@@ -1,0 +1,60 @@
+"""Tests for mixed block/cell placement and floorplanning."""
+
+import numpy as np
+import pytest
+
+from repro import MixedSizePlacer, make_mixed_size_circuit, total_overlap
+from repro.netlist import CellKind
+
+
+@pytest.fixture(scope="module")
+def mixed():
+    return make_mixed_size_circuit(scale=0.12, num_blocks=4, block_area_fraction=0.3)
+
+
+@pytest.fixture(scope="module")
+def floorplanned(mixed):
+    return MixedSizePlacer(mixed.netlist, mixed.region).place()
+
+
+class TestMixedSizePlacement:
+    def test_blocks_do_not_overlap(self, floorplanned):
+        rects = floorplanned.block_rects
+        assert floorplanned.block_overlap == pytest.approx(0.0, abs=1e-6)
+        for a in range(len(rects)):
+            for b in range(a + 1, len(rects)):
+                assert not rects[a].overlaps(rects[b])
+
+    def test_blocks_inside_region(self, mixed, floorplanned):
+        for rect in floorplanned.block_rects:
+            assert mixed.region.bounds.contains_rect(rect.expanded(-1e-6))
+
+    def test_blocks_snapped_to_rows(self, mixed, floorplanned):
+        row_h = mixed.region.row_height
+        ylo0 = mixed.region.bounds.ylo
+        for rect in floorplanned.block_rects:
+            offset = (rect.ylo - ylo0) / row_h
+            assert offset == pytest.approx(round(offset), abs=1e-6)
+
+    def test_cells_legal_and_clear_of_blocks(self, mixed, floorplanned):
+        nl = mixed.netlist
+        p = floorplanned.placement
+        for i in nl.movable_indices:
+            if nl.cells[i].kind is CellKind.BLOCK:
+                continue
+            r = p.rect_of(int(i))
+            for block in floorplanned.block_rects:
+                assert not r.overlaps(block)
+
+    def test_total_overlap_zero(self, mixed, floorplanned):
+        assert total_overlap(floorplanned.placement) < 1e-6
+
+    def test_wirelength_reasonable(self, mixed, floorplanned, rng):
+        from repro import Placement, hpwl_meters
+
+        random_p = Placement.random(mixed.netlist, mixed.region, rng)
+        assert floorplanned.hpwl_m < hpwl_meters(random_p)
+
+    def test_global_result_exposed(self, floorplanned):
+        assert floorplanned.global_result.iterations >= 1
+        assert floorplanned.seconds > 0.0

@@ -1,0 +1,131 @@
+"""Unit tests for the bin grid, rasterization and emptiness queries."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    Grid,
+    Rect,
+    largest_empty_square_side,
+    summed_area_table,
+    window_sums,
+)
+
+
+@pytest.fixture()
+def grid():
+    return Grid(Rect(0, 0, 100, 80), nx=10, ny=8)
+
+
+class TestGridGeometry:
+    def test_bin_sizes(self, grid):
+        assert grid.dx == 10.0 and grid.dy == 10.0
+        assert grid.bin_area == 100.0
+        assert grid.shape == (8, 10)
+
+    def test_square_bins(self):
+        g = Grid.square_bins(Rect(0, 0, 100, 50), target_bin=10.0)
+        assert (g.nx, g.ny) == (10, 5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Grid(Rect(0, 0, 1, 1), nx=0, ny=5)
+        with pytest.raises(ValueError):
+            Grid.square_bins(Rect(0, 0, 1, 1), target_bin=0.0)
+
+    def test_centers_and_edges(self, grid):
+        assert grid.x_edges()[0] == 0.0 and grid.x_edges()[-1] == 100.0
+        assert grid.x_centers()[0] == 5.0
+        assert grid.y_centers()[-1] == 75.0
+
+    def test_bin_of_clamped(self, grid):
+        assert grid.bin_of(5.0, 5.0) == (0, 0)
+        assert grid.bin_of(-100, 1e9) == (7, 0)
+
+    def test_bin_rect(self, grid):
+        assert grid.bin_rect(1, 2) == Rect(20.0, 10.0, 10.0, 10.0)
+
+
+class TestRasterization:
+    def test_add_rect_conserves_area(self, grid):
+        arr = grid.zeros()
+        rect = Rect(13.0, 27.0, 24.0, 16.0)
+        grid.add_rect(arr, rect)
+        assert arr.sum() == pytest.approx(rect.area)
+
+    def test_add_rect_fractional_coverage(self, grid):
+        arr = grid.zeros()
+        # Half-in, half-out of bin (0,0) horizontally.
+        grid.add_rect(arr, Rect(5.0, 0.0, 10.0, 10.0))
+        assert arr[0, 0] == pytest.approx(50.0)
+        assert arr[0, 1] == pytest.approx(50.0)
+
+    def test_add_rect_clipped_outside(self, grid):
+        arr = grid.zeros()
+        grid.add_rect(arr, Rect(-20.0, -20.0, 10.0, 10.0))
+        assert arr.sum() == 0.0
+
+    def test_add_rect_scale(self, grid):
+        arr = grid.zeros()
+        grid.add_rect(arr, Rect(0, 0, 10, 10), scale=2.5)
+        assert arr[0, 0] == pytest.approx(250.0)
+
+    def test_paint_rects_matches_individual(self, grid):
+        xlo = np.array([0.0, 33.0])
+        ylo = np.array([0.0, 41.0])
+        w = np.array([10.0, 14.0])
+        h = np.array([10.0, 6.0])
+        painted = grid.paint_rects(xlo, ylo, w, h)
+        manual = grid.zeros()
+        for k in range(2):
+            grid.add_rect(manual, Rect(xlo[k], ylo[k], w[k], h[k]))
+        assert np.allclose(painted, manual)
+
+    def test_paint_rects_weights(self, grid):
+        painted = grid.paint_rects(
+            np.array([0.0]), np.array([0.0]), np.array([10.0]), np.array([10.0]),
+            weights=np.array([3.0]),
+        )
+        assert painted.sum() == pytest.approx(300.0)
+
+
+class TestSummedAreaTable:
+    def test_prefix_sums(self):
+        a = np.arange(6.0).reshape(2, 3)
+        sat = summed_area_table(a)
+        assert sat[-1, -1] == a.sum()
+        assert sat[1, 1] == a[0, 0]
+
+    def test_window_sums(self):
+        a = np.ones((4, 4))
+        sums = window_sums(summed_area_table(a), 2)
+        assert sums.shape == (3, 3)
+        assert np.allclose(sums, 4.0)
+
+    def test_window_too_large(self):
+        a = np.ones((2, 2))
+        assert window_sums(summed_area_table(a), 3).size == 0
+
+    def test_window_invalid(self):
+        with pytest.raises(ValueError):
+            window_sums(summed_area_table(np.ones((2, 2))), 0)
+
+
+class TestLargestEmptySquare:
+    def test_fully_empty(self):
+        occ = np.zeros((8, 8))
+        assert largest_empty_square_side(occ, bin_side=2.0) == 16.0
+
+    def test_fully_occupied(self):
+        occ = np.ones((8, 8))
+        assert largest_empty_square_side(occ, bin_side=2.0) == 0.0
+
+    def test_hole_detected(self):
+        occ = np.ones((8, 8))
+        occ[2:5, 3:6] = 0.0  # 3x3 hole
+        assert largest_empty_square_side(occ, bin_side=1.0) == 3.0
+
+    def test_tolerance(self):
+        occ = np.full((4, 4), 0.01)
+        assert largest_empty_square_side(occ, bin_side=1.0) == 0.0
+        assert largest_empty_square_side(occ, bin_side=1.0, tol_area=1.0) == 4.0

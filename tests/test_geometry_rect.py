@@ -1,0 +1,103 @@
+"""Unit tests for the Rect primitive."""
+
+import math
+
+import pytest
+
+from repro.geometry import Rect, bounding_box, total_overlap_area
+
+
+class TestConstruction:
+    def test_from_bounds(self):
+        r = Rect.from_bounds(1.0, 2.0, 4.0, 7.0)
+        assert r.width == 3.0 and r.height == 5.0
+
+    def test_from_center(self):
+        r = Rect.from_center(5.0, 5.0, 4.0, 2.0)
+        assert (r.xlo, r.ylo, r.xhi, r.yhi) == (3.0, 4.0, 7.0, 6.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1.0, 5.0)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 5.0, -0.1)
+
+    def test_derived_coordinates(self):
+        r = Rect(1.0, 2.0, 4.0, 6.0)
+        assert r.center == (3.0, 5.0)
+        assert r.area == 24.0
+        assert r.half_perimeter == 10.0
+
+
+class TestPredicates:
+    def test_contains_point_half_open(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(0.0, 0.0)
+        assert not r.contains_point(10.0, 5.0)
+        assert not r.contains_point(5.0, 10.0)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 8, 8))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(5, 5, 6, 6))
+
+    def test_overlaps_open_interiors(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.overlaps(Rect(5, 5, 10, 10))
+        # Shared edge does not count as overlap.
+        assert not a.overlaps(Rect(10, 0, 5, 10))
+        assert not a.overlaps(Rect(20, 20, 1, 1))
+
+    def test_is_empty(self):
+        assert Rect(0, 0, 0, 5).is_empty()
+        assert not Rect(0, 0, 1, 1).is_empty()
+
+
+class TestCombination:
+    def test_intersection(self):
+        a = Rect(0, 0, 10, 10)
+        inter = a.intersection(Rect(5, 5, 10, 10))
+        assert inter == Rect(5, 5, 5, 5)
+        assert a.intersection(Rect(20, 20, 1, 1)) is None
+
+    def test_overlap_area(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.overlap_area(Rect(5, 5, 10, 10)) == 25.0
+        assert a.overlap_area(Rect(10, 0, 5, 5)) == 0.0
+
+    def test_union_bounds(self):
+        u = Rect(0, 0, 1, 1).union_bounds(Rect(5, 5, 1, 1))
+        assert u == Rect.from_bounds(0, 0, 6, 6)
+
+    def test_expanded(self):
+        assert Rect(0, 0, 2, 2).expanded(1.0) == Rect(-1, -1, 4, 4)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 2, 2).expanded(-2.0)
+
+    def test_translated(self):
+        assert Rect(0, 0, 2, 2).translated(3, 4) == Rect(3, 4, 2, 2)
+
+    def test_clamp_point(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.clamp_point(-5, 5) == (0, 5)
+        assert r.clamp_point(3, 20) == (3, 10)
+
+    def test_distance_to_point(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.distance_to_point(5, 5) == 0.0
+        assert r.distance_to_point(13, 14) == pytest.approx(5.0)
+
+
+class TestHelpers:
+    def test_bounding_box(self):
+        bb = bounding_box([Rect(0, 0, 1, 1), Rect(4, 5, 2, 2)])
+        assert bb == Rect.from_bounds(0, 0, 6, 7)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_total_overlap_area(self):
+        rects = [Rect(0, 0, 10, 10), Rect(5, 0, 10, 10), Rect(100, 100, 1, 1)]
+        assert total_overlap_area(rects) == 50.0

@@ -1,0 +1,58 @@
+"""Unit tests for rows and placement regions."""
+
+import pytest
+
+from repro.geometry import PlacementRegion, Rect, make_rows, nearest_row
+
+
+class TestRows:
+    def test_make_rows_tiling(self):
+        rows = make_rows(Rect(0, 0, 100, 55), row_height=10.0)
+        assert len(rows) == 5  # the 5-um leftover strip is dropped
+        assert rows[0].y == 0.0
+        assert rows[-1].yhi == 50.0
+        assert all(r.width == 100.0 for r in rows)
+
+    def test_make_rows_invalid_height(self):
+        with pytest.raises(ValueError):
+            make_rows(Rect(0, 0, 10, 10), row_height=0.0)
+
+    def test_nearest_row(self):
+        rows = make_rows(Rect(0, 0, 100, 50), row_height=10.0)
+        assert nearest_row(rows, 17.0).index == 1
+        assert nearest_row(rows, -5.0).index == 0
+        assert nearest_row(rows, 500.0).index == 4
+
+    def test_nearest_row_empty(self):
+        with pytest.raises(ValueError):
+            nearest_row([], 0.0)
+
+    def test_row_bounds(self):
+        rows = make_rows(Rect(2, 3, 10, 20), row_height=5.0)
+        assert rows[1].bounds == Rect(2, 8, 10, 5)
+        assert rows[1].center_y == 10.5
+
+
+class TestRegion:
+    def test_standard_cell_region(self):
+        region = PlacementRegion.standard_cell(200.0, 100.0, row_height=20.0)
+        assert region.num_rows == 5
+        assert region.width == 200.0
+        assert region.half_perimeter == 300.0
+        assert region.row_height == 20.0
+        assert region.row_capacity() == 1000.0
+
+    def test_region_without_rows(self):
+        region = PlacementRegion(bounds=Rect(0, 0, 10, 10))
+        assert region.num_rows == 0
+        with pytest.raises(ValueError):
+            _ = region.row_height
+
+    def test_clamp(self):
+        region = PlacementRegion.standard_cell(100.0, 100.0, row_height=10.0)
+        assert region.clamp(-5.0, 105.0) == (0.0, 100.0)
+
+    def test_contains(self):
+        region = PlacementRegion.standard_cell(100.0, 100.0, row_height=10.0)
+        assert region.contains(Rect(10, 10, 5, 5))
+        assert not region.contains(Rect(98, 10, 5, 5))

@@ -1,0 +1,80 @@
+"""Cross-module integration tests: full flows end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GordianPlacer,
+    KraftwerkPlacer,
+    Placement,
+    PlacerConfig,
+    StaticTimingAnalyzer,
+    TimberWolfConfig,
+    TimberWolfPlacer,
+    TimingDrivenPlacer,
+    final_placement,
+    hpwl_meters,
+    make_circuit,
+    total_overlap,
+)
+from repro.netlist import load_netlist, load_placement, save_netlist, save_placement
+
+
+class TestFullFlow:
+    def test_place_legalize_evaluate(self, small_circuit):
+        nl, region = small_circuit.netlist, small_circuit.region
+        result = KraftwerkPlacer(nl, region).place()
+        legal = final_placement(result.placement, region)
+        assert total_overlap(legal) < 1e-6
+        # Legalization costs some wire length but not catastrophically.
+        assert hpwl_meters(legal) < 2.0 * result.hpwl_m
+
+    def test_three_placers_same_circuit(self, tiny_circuit, rng):
+        nl, region = tiny_circuit.netlist, tiny_circuit.region
+        ours = KraftwerkPlacer(nl, region).place().placement
+        gordian = GordianPlacer(nl, region).place().placement
+        tw_cfg = TimberWolfConfig(moves_per_cell=4, max_stages=40)
+        timberwolf = TimberWolfPlacer(nl, region, tw_cfg).place().placement
+        random_p = Placement.random(nl, region, rng)
+        base = hpwl_meters(random_p)
+        for name, p in (("ours", ours), ("gordian", gordian), ("tw", timberwolf)):
+            legal = final_placement(p, region)
+            assert total_overlap(legal) < 1e-6, name
+            assert hpwl_meters(legal) < base, name
+
+    def test_mcnc_profile_end_to_end(self):
+        c = make_circuit("fract", scale=1.0)
+        result = KraftwerkPlacer(c.netlist, c.region).place()
+        legal = final_placement(result.placement, c.region)
+        assert total_overlap(legal) < 1e-6
+        sta = StaticTimingAnalyzer(c.netlist).analyze(legal)
+        assert sta.max_delay_ns > 0.0
+
+    def test_persistence_round_trip_mid_flow(self, small_circuit, placed_small, tmp_path):
+        nl = small_circuit.netlist
+        save_netlist(nl, tmp_path / "c.nl")
+        save_placement(placed_small.placement, tmp_path / "c.pl")
+        nl2 = load_netlist(tmp_path / "c.nl")
+        p2 = load_placement(nl2, tmp_path / "c.pl")
+        assert hpwl_meters(p2) == pytest.approx(placed_small.hpwl_m)
+        # The reloaded circuit can continue through the flow.
+        legal = final_placement(p2, small_circuit.region)
+        assert total_overlap(legal) < 1e-6
+
+    def test_timing_driven_then_legalized_still_meets_analysis(self, small_circuit):
+        nl, region = small_circuit.netlist, small_circuit.region
+        timed = TimingDrivenPlacer(nl, region).place()
+        legal = final_placement(timed.placement, region)
+        sta = StaticTimingAnalyzer(nl).analyze(legal)
+        # Legalization perturbs timing only moderately.
+        assert sta.max_delay_ns < timed.max_delay_ns * 1.5
+
+
+class TestScalability:
+    @pytest.mark.parametrize("name,scale", [("primary1", 0.5), ("biomed", 0.1)])
+    def test_profiles_place_cleanly(self, name, scale):
+        c = make_circuit(name, scale=scale)
+        result = KraftwerkPlacer(c.netlist, c.region, PlacerConfig()).place()
+        assert result.iterations >= 1
+        legal = final_placement(result.placement, c.region)
+        assert total_overlap(legal) < 1e-6

@@ -1,0 +1,82 @@
+"""Assorted coverage: suite overrides, bookshelf driver demotion, reports."""
+
+import numpy as np
+import pytest
+
+from repro import Placement, make_circuit
+from repro.netlist import load_bookshelf, save_bookshelf
+from repro.netlist.benchmarks import CircuitProfile
+
+
+class TestSuiteOverrides:
+    def test_make_circuit_overrides(self):
+        c = make_circuit("fract", scale=1.0, utilization=0.6, seed=5)
+        util = c.netlist.movable_area() / c.region.area
+        assert util == pytest.approx(0.6, abs=0.08)
+
+    def test_profile_spec_scaling(self):
+        profile = CircuitProfile("toy", cells=1000, nets=1100, rows=20)
+        spec = profile.spec(scale=0.25)
+        assert spec.num_cells == 250
+        assert spec.name == "toy@0.25"
+        full = profile.spec(scale=1.0)
+        assert full.name == "toy"
+
+    def test_min_sizes_enforced(self):
+        profile = CircuitProfile("tiny", cells=100, nets=100, rows=4)
+        spec = profile.spec(scale=0.01)
+        assert spec.num_cells >= 24
+        assert spec.num_rows >= 4
+
+
+class TestBookshelfDriverDemotion:
+    def test_second_output_becomes_input(self, tmp_path):
+        (tmp_path / "d.aux").write_text("RowBasedPlacement : d.nodes d.nets d.pl d.scl\n")
+        (tmp_path / "d.nodes").write_text(
+            "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\n  a 8 10\n  bb 8 10\n"
+        )
+        (tmp_path / "d.nets").write_text(
+            "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+            "NetDegree : 2  n0\n  a O : 0 0\n  bb O : 0 0\n"
+        )
+        (tmp_path / "d.pl").write_text("UCLA pl 1.0\na 0 0 : N\nbb 20 0 : N\n")
+        (tmp_path / "d.scl").write_text(
+            "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n"
+            "  Coordinate : 0\n  Height : 10\n  Sitewidth : 1\n  Sitespacing : 1\n"
+            "  SubrowOrigin : 0  NumSites : 100\nEnd\n"
+        )
+        nl, _region, _p = load_bookshelf(tmp_path / "d.aux")
+        net = nl.nets[0]
+        assert net.driver is not None
+        assert len(net.driver_pins()) == 1
+
+    def test_mixed_size_load_classifies_blocks(self, tmp_path, small_circuit):
+        from repro import NetlistBuilder, PlacementRegion
+
+        b = NetlistBuilder("blocks")
+        b.add_cell("std", 8.0, 10.0)
+        b.add_block("macro", 50.0, 40.0)
+        b.add_net("n", [("std", "output"), ("macro", "input")])
+        nl = b.build()
+        region = PlacementRegion.standard_cell(200.0, 100.0, 10.0)
+        p = Placement(nl, np.array([10.0, 100.0]), np.array([5.0, 50.0]))
+        aux = save_bookshelf(nl, region, tmp_path / "m", p)
+        nl2, _, _ = load_bookshelf(aux)
+        from repro.netlist import CellKind
+
+        assert nl2.cell_by_name("macro").kind is CellKind.BLOCK
+        assert nl2.cell_by_name("std").kind is CellKind.STANDARD
+
+
+class TestIterationStats:
+    def test_stats_fields_populated(self, placed_small):
+        for s in placed_small.history:
+            assert s.hpwl_m > 0
+            assert s.overflow_fraction >= 0
+            assert s.cg_iterations >= 0
+            assert np.isfinite(s.force_scale)
+
+    def test_overflow_decreases_from_start(self, placed_small):
+        first = placed_small.history[0].overflow_fraction
+        last = placed_small.history[-1].overflow_fraction
+        assert last <= first

@@ -1,0 +1,76 @@
+"""Round-trip tests for the Bookshelf format."""
+
+import numpy as np
+import pytest
+
+from repro import Placement, hpwl_meters
+from repro.netlist import load_bookshelf, save_bookshelf
+
+
+class TestBookshelfRoundTrip:
+    def test_structure_preserved(self, small_circuit, placed_small, tmp_path):
+        nl, region = small_circuit.netlist, small_circuit.region
+        aux = save_bookshelf(nl, region, tmp_path / "design", placed_small.placement)
+        nl2, region2, placement2 = load_bookshelf(aux)
+        assert nl2.num_cells == nl.num_cells
+        assert nl2.num_nets == nl.num_nets
+        assert nl2.num_fixed == nl.num_fixed
+        assert {c.name for c in nl2.cells} == {c.name for c in nl.cells}
+
+    def test_geometry_preserved(self, small_circuit, placed_small, tmp_path):
+        nl, region = small_circuit.netlist, small_circuit.region
+        aux = save_bookshelf(nl, region, tmp_path / "d", placed_small.placement)
+        nl2, region2, placement2 = load_bookshelf(aux)
+        assert region2.num_rows == region.num_rows
+        assert region2.row_height == pytest.approx(region.row_height)
+        # Wire length of the reloaded placement matches (same positions).
+        assert hpwl_meters(placement2) == pytest.approx(
+            placed_small.hpwl_m, rel=1e-6
+        )
+
+    def test_directions_preserved(self, small_circuit, placed_small, tmp_path):
+        nl, region = small_circuit.netlist, small_circuit.region
+        aux = save_bookshelf(nl, region, tmp_path / "d", placed_small.placement)
+        nl2, _, _ = load_bookshelf(aux)
+        for net in nl.nets:
+            other = nl2.net_by_name(net.name)
+            if net.driver is not None:
+                assert other.driver is not None
+                assert (
+                    nl.cells[net.driver.cell].name
+                    == nl2.cells[other.driver.cell].name
+                )
+
+    def test_fixed_cells_fixed(self, small_circuit, placed_small, tmp_path):
+        nl, region = small_circuit.netlist, small_circuit.region
+        aux = save_bookshelf(nl, region, tmp_path / "d", placed_small.placement)
+        nl2, _, _ = load_bookshelf(aux)
+        for cell in nl.cells:
+            assert nl2.cell_by_name(cell.name).fixed == cell.fixed
+
+    def test_pl_without_placement_uses_fixed_positions(
+        self, small_circuit, tmp_path
+    ):
+        nl, region = small_circuit.netlist, small_circuit.region
+        aux = save_bookshelf(nl, region, tmp_path / "d")
+        nl2, _, placement2 = load_bookshelf(aux)
+        for cell in nl.cells:
+            if cell.fixed:
+                other = nl2.cell_by_name(cell.name)
+                assert other.x == pytest.approx(cell.x)
+                assert other.y == pytest.approx(cell.y)
+
+    def test_missing_component_rejected(self, small_circuit, tmp_path):
+        nl, region = small_circuit.netlist, small_circuit.region
+        aux = save_bookshelf(nl, region, tmp_path / "d")
+        (tmp_path / "d.scl").unlink()
+        broken = tmp_path / "d.aux"
+        broken.write_text("RowBasedPlacement : d.nodes d.nets d.pl\n")
+        with pytest.raises(ValueError):
+            load_bookshelf(broken)
+
+    def test_malformed_aux(self, tmp_path):
+        bad = tmp_path / "x.aux"
+        bad.write_text("garbage\n")
+        with pytest.raises(ValueError):
+            load_bookshelf(bad)

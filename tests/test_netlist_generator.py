@@ -1,0 +1,150 @@
+"""Tests for the synthetic circuit generator and benchmark suite."""
+
+import numpy as np
+import pytest
+
+from repro import GeneratorSpec, generate_circuit
+from repro.netlist import (
+    MCNC_PROFILES,
+    PROFILES_BY_NAME,
+    ROW_HEIGHT,
+    bench_scale,
+    make_circuit,
+    make_mixed_size_circuit,
+    make_suite,
+)
+from repro.netlist.generator import _bound_combinational_depth  # noqa
+from repro.timing import build_timing_graph
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        spec = GeneratorSpec(name="det", num_cells=100, num_rows=4)
+        a = generate_circuit(spec)
+        b = generate_circuit(spec)
+        assert a.netlist.stats() == b.netlist.stats()
+        assert [c.width for c in a.netlist.cells] == [c.width for c in b.netlist.cells]
+
+    def test_seed_changes_circuit(self):
+        a = generate_circuit(GeneratorSpec(name="s", num_cells=100, seed=0))
+        b = generate_circuit(GeneratorSpec(name="s", num_cells=100, seed=1))
+        widths_a = [c.width for c in a.netlist.cells]
+        widths_b = [c.width for c in b.netlist.cells]
+        assert widths_a != widths_b
+
+    def test_cell_and_net_counts(self):
+        c = generate_circuit(GeneratorSpec(name="c", num_cells=200, num_nets=220))
+        movable = c.netlist.num_movable
+        assert movable == 200
+        assert c.netlist.num_nets >= 200  # target is approximately met
+
+    def test_region_utilization(self):
+        spec = GeneratorSpec(name="u", num_cells=300, num_rows=8, utilization=0.8)
+        c = generate_circuit(spec)
+        util = c.netlist.movable_area() / c.region.area
+        assert 0.7 <= util <= 0.9
+
+    def test_rows_match_spec(self):
+        c = generate_circuit(GeneratorSpec(name="r", num_cells=100, num_rows=7))
+        assert c.region.num_rows == 7
+        assert c.region.row_height == ROW_HEIGHT
+
+    def test_pads_on_boundary(self):
+        c = generate_circuit(GeneratorSpec(name="p", num_cells=100))
+        b = c.region.bounds
+        for cell in c.netlist.cells:
+            if cell.fixed:
+                on_edge = (
+                    abs(cell.x - b.xlo) < 1e-6
+                    or abs(cell.x - b.xhi) < 1e-6
+                    or abs(cell.y - b.ylo) < 1e-6
+                    or abs(cell.y - b.yhi) < 1e-6
+                )
+                assert on_edge
+
+    def test_every_net_has_driver(self):
+        c = generate_circuit(GeneratorSpec(name="d", num_cells=150))
+        for net in c.netlist.nets:
+            assert net.driver is not None
+            assert net.degree >= 2
+
+    def test_depth_bounded(self):
+        spec = GeneratorSpec(name="deep", num_cells=800, max_comb_depth=12)
+        c = generate_circuit(spec)
+        graph = build_timing_graph(c.netlist)
+        # Longest source-free chain must respect the bound (+ slack for the
+        # few backward fallback arcs).
+        nl = c.netlist
+        depth = {}
+        longest = 0
+        for u in graph.topo_order:
+            arcs_in = [a for a in graph.arcs if a.dst == u]
+            cell = nl.cells[u]
+            if cell.is_register or cell.fixed:
+                depth[u] = 0
+                continue
+            d = 0
+            for a in arcs_in:
+                src_cell = nl.cells[a.src]
+                base = 0 if (src_cell.is_register or src_cell.fixed) else depth.get(a.src, 0)
+                d = max(d, base + 1)
+            depth[u] = d
+            longest = max(longest, d)
+        assert longest <= spec.max_comb_depth + 3
+
+    def test_blocks_generated(self):
+        spec = GeneratorSpec(
+            name="blk", num_cells=150, num_blocks=4, block_area_fraction=0.3
+        )
+        c = generate_circuit(spec)
+        blocks = c.netlist.blocks()
+        assert len(blocks) == 4
+        block_area = sum(b.area for b in blocks)
+        total = c.netlist.movable_area()
+        assert 0.15 <= block_area / total <= 0.45
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            GeneratorSpec(name="x", num_cells=1)
+        with pytest.raises(ValueError):
+            GeneratorSpec(name="x", num_cells=10, utilization=0.0)
+        with pytest.raises(ValueError):
+            GeneratorSpec(name="x", num_cells=10, num_blocks=2)
+
+
+class TestSuite:
+    def test_profiles_present(self):
+        names = [p.name for p in MCNC_PROFILES]
+        assert names[0] == "fract" and names[-1] == "avq.large"
+        assert len(names) == 9
+
+    def test_scaled_profile(self):
+        spec = PROFILES_BY_NAME["biomed"].spec(scale=0.1)
+        assert spec.num_cells == round(6417 * 0.1)
+        assert spec.num_rows < 46
+
+    def test_make_circuit(self):
+        c = make_circuit("fract", scale=1.0)
+        assert c.netlist.num_movable == 125
+        assert c.region.num_rows == 6
+
+    def test_make_circuit_unknown(self):
+        with pytest.raises(KeyError):
+            make_circuit("nonesuch")
+
+    def test_make_suite_subset(self):
+        suite = make_suite(scale=0.05, names=["fract", "struct"])
+        assert set(suite) == {"fract", "struct"}
+
+    def test_mixed_size_circuit(self):
+        c = make_mixed_size_circuit(scale=0.1, num_blocks=3)
+        assert len(c.netlist.blocks()) == 3
+
+    def test_bench_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale(0.2) == 0.2
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert bench_scale(0.2) == 0.5
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "3.0")
+        with pytest.raises(ValueError):
+            bench_scale()

@@ -1,0 +1,80 @@
+"""Round-trip tests for the plain-text netlist and placement formats."""
+
+import numpy as np
+import pytest
+
+from repro import Placement
+from repro.netlist import (
+    load_netlist,
+    load_placement,
+    netlist_from_string,
+    netlist_to_string,
+    save_netlist,
+    save_placement,
+)
+
+
+class TestNetlistRoundTrip:
+    def test_string_round_trip(self, four_cell_netlist):
+        text = netlist_to_string(four_cell_netlist)
+        back = netlist_from_string(text)
+        assert back.name == four_cell_netlist.name
+        assert back.num_cells == four_cell_netlist.num_cells
+        assert back.num_nets == four_cell_netlist.num_nets
+        for a, b in zip(four_cell_netlist.cells, back.cells):
+            assert (a.name, a.width, a.height, a.fixed) == (
+                b.name,
+                b.width,
+                b.height,
+                b.fixed,
+            )
+            assert a.delay == b.delay and a.input_cap == b.input_cap
+        for a, b in zip(four_cell_netlist.nets, back.nets):
+            assert a.name == b.name and a.weight == b.weight
+            assert [p.cell for p in a.pins] == [p.cell for p in b.pins]
+            assert [p.direction for p in a.pins] == [p.direction for p in b.pins]
+
+    def test_file_round_trip(self, four_cell_netlist, tmp_path):
+        path = tmp_path / "netlist.txt"
+        save_netlist(four_cell_netlist, path)
+        back = load_netlist(path)
+        assert back.num_cells == four_cell_netlist.num_cells
+
+    def test_generated_circuit_round_trip(self, tiny_circuit):
+        text = netlist_to_string(tiny_circuit.netlist)
+        back = netlist_from_string(text)
+        assert back.stats() == tiny_circuit.netlist.stats()
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError):
+            netlist_from_string("garbage\n")
+
+    def test_bad_record(self):
+        with pytest.raises(ValueError):
+            netlist_from_string("# repro netlist v1\nbogus record here\n")
+
+
+class TestPlacementRoundTrip:
+    def test_round_trip(self, four_cell_netlist, four_cell_region, tmp_path):
+        p = Placement.at_center(four_cell_netlist, four_cell_region)
+        a = four_cell_netlist.cell_by_name("a").index
+        p.move_to(a, 12.5, 37.5)
+        path = tmp_path / "placement.txt"
+        save_placement(p, path)
+        back = load_placement(four_cell_netlist, path)
+        assert np.allclose(back.x, p.x) and np.allclose(back.y, p.y)
+
+    def test_missing_cell_rejected(self, four_cell_netlist, four_cell_region, tmp_path):
+        path = tmp_path / "placement.txt"
+        p = Placement.at_center(four_cell_netlist, four_cell_region)
+        save_placement(p, path)
+        text = path.read_text().splitlines()
+        path.write_text("\n".join(text[:-1]) + "\n")  # drop last cell
+        with pytest.raises(ValueError):
+            load_placement(four_cell_netlist, path)
+
+    def test_bad_header(self, four_cell_netlist, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text("nope\n")
+        with pytest.raises(ValueError):
+            load_placement(four_cell_netlist, path)

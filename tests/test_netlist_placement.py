@@ -1,0 +1,97 @@
+"""Unit tests for the Placement object."""
+
+import numpy as np
+import pytest
+
+from repro import Placement, PlacementRegion
+
+
+class TestConstruction:
+    def test_at_center(self, four_cell_netlist, four_cell_region):
+        p = Placement.at_center(four_cell_netlist, four_cell_region)
+        a = four_cell_netlist.cell_by_name("a").index
+        assert p.x[a] == 50.0 and p.y[a] == 50.0
+        # Fixed cells are pinned, not centered.
+        pl = four_cell_netlist.cell_by_name("pl").index
+        assert p.x[pl] == 0.0
+
+    def test_random_inside_region(self, four_cell_netlist, four_cell_region, rng):
+        p = Placement.random(four_cell_netlist, four_cell_region, rng)
+        movable = four_cell_netlist.movable_indices
+        assert np.all(p.x[movable] >= 0.0) and np.all(p.x[movable] <= 100.0)
+
+    def test_length_mismatch(self, four_cell_netlist):
+        with pytest.raises(ValueError):
+            Placement(four_cell_netlist, np.zeros(2), np.zeros(2))
+
+    def test_copy_is_independent(self, four_cell_netlist, four_cell_region):
+        p = Placement.at_center(four_cell_netlist, four_cell_region)
+        q = p.copy()
+        a = four_cell_netlist.cell_by_name("a").index
+        q.x[a] = 7.0
+        assert p.x[a] == 50.0
+
+
+class TestInvariants:
+    def test_fixed_cells_repinned(self, four_cell_netlist, four_cell_region):
+        p = Placement.at_center(four_cell_netlist, four_cell_region)
+        pl = four_cell_netlist.cell_by_name("pl").index
+        p.x[pl] = 42.0
+        p.reset_fixed()
+        assert p.x[pl] == 0.0
+
+    def test_move_to_fixed_raises(self, four_cell_netlist, four_cell_region):
+        p = Placement.at_center(four_cell_netlist, four_cell_region)
+        pl = four_cell_netlist.cell_by_name("pl").index
+        with pytest.raises(ValueError):
+            p.move_to(pl, 1.0, 1.0)
+
+    def test_move_to(self, four_cell_netlist, four_cell_region):
+        p = Placement.at_center(four_cell_netlist, four_cell_region)
+        a = four_cell_netlist.cell_by_name("a").index
+        p.move_to(a, 10.0, 20.0)
+        assert (p.x[a], p.y[a]) == (10.0, 20.0)
+
+    def test_clamp_to_region(self, four_cell_netlist, four_cell_region):
+        p = Placement.at_center(four_cell_netlist, four_cell_region)
+        a = four_cell_netlist.cell_by_name("a").index
+        p.x[a] = 1000.0
+        p.clamp_to_region(four_cell_region)
+        # Cell is 10 wide, so center can be at most 95.
+        assert p.x[a] == 95.0
+
+
+class TestViews:
+    def test_lower_left(self, four_cell_netlist, four_cell_region):
+        p = Placement.at_center(four_cell_netlist, four_cell_region)
+        xlo, ylo = p.lower_left()
+        a = four_cell_netlist.cell_by_name("a").index
+        assert xlo[a] == 45.0 and ylo[a] == 45.0
+
+    def test_rect_of(self, four_cell_netlist, four_cell_region):
+        p = Placement.at_center(four_cell_netlist, four_cell_region)
+        a = four_cell_netlist.cell_by_name("a").index
+        assert p.rect_of(a).center == (50.0, 50.0)
+
+    def test_rects_movable_only(self, four_cell_netlist, four_cell_region):
+        p = Placement.at_center(four_cell_netlist, four_cell_region)
+        assert len(p.rects()) == 4
+        assert len(p.rects(movable_only=True)) == 2
+
+    def test_pin_positions(self, four_cell_netlist, four_cell_region):
+        p = Placement.at_center(four_cell_netlist, four_cell_region)
+        px, py = p.pin_positions(0)  # n1: pl -> a
+        assert list(px) == [0.0, 50.0]
+
+
+class TestComparison:
+    def test_displacement(self, four_cell_netlist, four_cell_region):
+        p = Placement.at_center(four_cell_netlist, four_cell_region)
+        q = p.copy()
+        a = four_cell_netlist.cell_by_name("a").index
+        q.x[a] += 3.0
+        q.y[a] += 4.0
+        d = q.displacement_from(p)
+        assert d[a] == pytest.approx(5.0)
+        assert q.max_displacement_from(p) == pytest.approx(5.0)
+        assert q.mean_displacement_from(p) == pytest.approx(5.0 / 4.0)

@@ -1,0 +1,118 @@
+"""Tests for the pattern-based global router."""
+
+import numpy as np
+import pytest
+
+from repro import NetlistBuilder, Placement, PlacementRegion
+from repro.congestion import PatternRouter
+from repro.congestion.patternroute import _l_shape, _mst_segments, _straight
+
+
+@pytest.fixture()
+def region():
+    return PlacementRegion.standard_cell(240.0, 240.0, row_height=10.0)
+
+
+def _pair_netlist(n_pairs: int):
+    b = NetlistBuilder("route")
+    for i in range(n_pairs):
+        b.add_cell(f"a{i}", 4.0, 4.0)
+        b.add_cell(f"b{i}", 4.0, 4.0)
+        b.add_net(f"n{i}", [(f"a{i}", "output"), (f"b{i}", "input")])
+    return b.build()
+
+
+class TestPathHelpers:
+    def test_straight_horizontal(self):
+        route = _straight(((1, 3), (4, 3)))
+        assert route == [("h", 3, 1), ("h", 3, 2), ("h", 3, 3)]
+
+    def test_straight_vertical(self):
+        route = _straight(((2, 0), (2, 2)))
+        assert route == [("v", 0, 2), ("v", 1, 2)]
+
+    def test_straight_rejects_diagonal(self):
+        with pytest.raises(ValueError):
+            _straight(((0, 0), (1, 1)))
+
+    def test_l_shapes_connect(self):
+        for first in ("h", "v"):
+            route = _l_shape(((0, 0), (3, 2)), first=first)
+            assert len(route) == 5  # 3 horizontal + 2 vertical edges
+
+    def test_mst_segments_spanning(self):
+        bins = [(0, 0), (3, 0), (0, 4), (5, 5)]
+        segments = _mst_segments(bins)
+        assert len(segments) == 3
+        nodes = {bins[0]}
+        for a, b in segments:
+            assert a in nodes  # built outward from the tree
+            nodes.add(b)
+        assert nodes == set(bins)
+
+
+class TestRouter:
+    def test_single_net_straight(self, region):
+        nl = _pair_netlist(1)
+        p = Placement(nl, np.array([20.0, 220.0]), np.array([120.0, 120.0]))
+        router = PatternRouter(region, bins=12, tracks_per_edge=10.0)
+        result = router.route(p)
+        # Horizontal net: all usage on horizontal edges of one row.
+        assert result.v_usage.sum() == 0.0
+        assert result.h_usage.sum() > 0
+        assert result.total_overflow == 0.0
+        assert result.wirelength_um == pytest.approx(
+            result.h_usage.sum() * router.grid.dx
+        )
+
+    def test_wirelength_at_least_manhattan(self, region, rng):
+        nl = _pair_netlist(20)
+        p = Placement.random(nl, region, rng)
+        router = PatternRouter(region, bins=12, tracks_per_edge=50.0)
+        result = router.route(p)
+        assert result.failed_segments == 0
+        # Routed length >= sum of bin-level Manhattan distances.
+        g = router.grid
+        manhattan = 0.0
+        for j in range(nl.num_nets):
+            px, py = p.pin_positions(j)
+            (iy0, ix0) = g.bin_of(float(px[0]), float(py[0]))
+            (iy1, ix1) = g.bin_of(float(px[1]), float(py[1]))
+            manhattan += abs(ix1 - ix0) * g.dx + abs(iy1 - iy0) * g.dy
+        assert result.wirelength_um >= manhattan - 1e-6
+
+    def test_rip_up_reduces_overflow(self, region):
+        # Many nets crossing the same column: with one routing iteration
+        # they all take the same L; rip-up must spread them.
+        nl = _pair_netlist(30)
+        x = np.zeros(60)
+        y = np.zeros(60)
+        for i in range(30):
+            x[2 * i], y[2 * i] = 20.0, 120.0 + (i % 3)
+            x[2 * i + 1], y[2 * i + 1] = 220.0, 120.0 + (i % 3)
+        p = Placement(nl, x, y)
+        single = PatternRouter(region, bins=12, tracks_per_edge=4.0, max_iterations=1)
+        multi = PatternRouter(region, bins=12, tracks_per_edge=4.0, max_iterations=6)
+        r1 = single.route(p)
+        r2 = multi.route(p)
+        assert r2.total_overflow <= r1.total_overflow
+
+    def test_congestion_map_shape(self, region, rng):
+        nl = _pair_netlist(10)
+        p = Placement.random(nl, region, rng)
+        router = PatternRouter(region, bins=10, tracks_per_edge=10.0)
+        result = router.route(p)
+        cmap = result.congestion_map()
+        assert cmap.shape == router.grid.shape
+        assert cmap.max() == pytest.approx(result.max_usage_ratio)
+
+    def test_multi_pin_nets_routed(self, region):
+        b = NetlistBuilder("multi")
+        for i in range(5):
+            b.add_cell(f"c{i}", 4.0, 4.0)
+        b.add_net("n", [(f"c{i}", "output" if i == 0 else "input") for i in range(5)])
+        nl = b.build()
+        rng = np.random.default_rng(0)
+        p = Placement.random(nl, region, rng)
+        result = PatternRouter(region, bins=10, tracks_per_edge=10.0).route(p)
+        assert result.wirelength_um > 0

@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import NetlistBuilder, Placement, PlacementRegion
+from repro.core import QuadraticSystem, conjugate_gradient
+from repro.core.density import splat_bilinear
+from repro.geometry import (
+    Grid,
+    Rect,
+    largest_empty_square_side,
+    summed_area_table,
+    window_sums,
+)
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+positive = st.floats(min_value=0.1, max_value=1e4, allow_nan=False)
+
+
+class TestRectProperties:
+    @given(finite, finite, positive, positive, finite, finite, positive, positive)
+    def test_overlap_symmetric_and_bounded(self, x1, y1, w1, h1, x2, y2, w2, h2):
+        a = Rect(x1, y1, w1, h1)
+        b = Rect(x2, y2, w2, h2)
+        ab = a.overlap_area(b)
+        assert ab == b.overlap_area(a)
+        assert 0.0 <= ab <= min(a.area, b.area) + 1e-6
+
+    @given(finite, finite, positive, positive, finite, finite, positive, positive)
+    def test_intersection_consistent_with_overlap(self, x1, y1, w1, h1, x2, y2, w2, h2):
+        a = Rect(x1, y1, w1, h1)
+        b = Rect(x2, y2, w2, h2)
+        inter = a.intersection(b)
+        if inter is None:
+            assert a.overlap_area(b) == 0.0
+        else:
+            assert inter.area == pytest.approx(a.overlap_area(b), rel=1e-9)
+            assert a.contains_rect(inter) or inter.area <= a.area
+
+    @given(finite, finite, positive, positive, st.floats(min_value=0, max_value=100))
+    def test_expand_grows_area(self, x, y, w, h, margin):
+        r = Rect(x, y, w, h)
+        assert r.expanded(margin).area >= r.area
+
+    @given(finite, finite, positive, positive, finite, finite)
+    def test_clamped_point_inside(self, x, y, w, h, px, py):
+        r = Rect(x, y, w, h)
+        cx, cy = r.clamp_point(px, py)
+        assert r.xlo <= cx <= r.xhi
+        assert r.ylo <= cy <= r.yhi
+
+
+class TestGridProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=90),
+                st.floats(min_value=0, max_value=90),
+                st.floats(min_value=0.5, max_value=30),
+                st.floats(min_value=0.5, max_value=30),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=40)
+    def test_rasterization_conserves_clipped_area(self, rects):
+        grid = Grid(Rect(0, 0, 100, 100), 10, 10)
+        arr = grid.zeros()
+        expected = 0.0
+        for x, y, w, h in rects:
+            r = Rect(x, y, w, h)
+            grid.add_rect(arr, r)
+            clipped = r.intersection(grid.bounds)
+            expected += clipped.area if clipped else 0.0
+        assert arr.sum() == pytest.approx(expected, rel=1e-9)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=2, max_value=12))
+    @settings(max_examples=30)
+    def test_window_sums_match_naive(self, k, n):
+        rng = np.random.default_rng(k * 100 + n)
+        a = rng.random((n, n))
+        sums = window_sums(summed_area_table(a), k)
+        if k > n:
+            assert sums.size == 0
+            return
+        for i in range(n - k + 1):
+            for j in range(n - k + 1):
+                assert sums[i, j] == pytest.approx(a[i : i + k, j : j + k].sum())
+
+    @given(st.integers(min_value=1, max_value=10))
+    @settings(max_examples=20)
+    def test_empty_square_monotone_in_occupancy(self, seed):
+        rng = np.random.default_rng(seed)
+        occ = (rng.random((12, 12)) < 0.4).astype(float)
+        base = largest_empty_square_side(occ, 1.0)
+        denser = occ.copy()
+        denser[rng.integers(0, 12), rng.integers(0, 12)] = 1.0
+        assert largest_empty_square_side(denser, 1.0) <= base
+
+
+class TestSplatProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-20, max_value=120),
+                st.floats(min_value=-20, max_value=120),
+                st.floats(min_value=0.01, max_value=50),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40)
+    def test_mass_conserved_even_when_clamped(self, points):
+        grid = Grid(Rect(0, 0, 100, 100), 8, 8)
+        x = np.array([p[0] for p in points])
+        y = np.array([p[1] for p in points])
+        m = np.array([p[2] for p in points])
+        out = splat_bilinear(grid, x, y, m)
+        assert out.sum() == pytest.approx(m.sum(), rel=1e-9)
+        assert out.min() >= 0.0
+
+
+class TestQuadraticProperties:
+    @st.composite
+    def random_netlist(draw):
+        n = draw(st.integers(min_value=2, max_value=10))
+        b = NetlistBuilder("h")
+        b.add_fixed_cell("p0", 1.0, 1.0, x=0.0, y=0.0)
+        b.add_fixed_cell("p1", 1.0, 1.0, x=100.0, y=100.0)
+        for i in range(n):
+            b.add_cell(f"c{i}", 4.0, 4.0)
+        num_nets = draw(st.integers(min_value=1, max_value=12))
+        for j in range(num_nets):
+            size = draw(st.integers(min_value=2, max_value=min(4, n)))
+            cells = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n - 1),
+                    min_size=size,
+                    max_size=size,
+                    unique=True,
+                )
+            )
+            pins = [(f"c{cells[0]}", "output")] + [
+                (f"c{c}", "input") for c in cells[1:]
+            ]
+            if draw(st.booleans()):
+                pins.append(("p0", "input"))
+            b.add_net(f"n{j}", pins)
+        return b.build()
+
+    @given(random_netlist())
+    @settings(max_examples=25, deadline=None)
+    def test_system_spd_and_solution_bounded(self, netlist):
+        qs = QuadraticSystem(netlist)
+        system = qs.assemble(anchor_weight=1e-3, anchor_xy=(50.0, 50.0))
+        # Symmetric with positive diagonal.
+        assert (abs(system.Ax - system.Ax.T)).max() < 1e-12
+        assert system.Ax.diagonal().min() > 0.0
+        result = conjugate_gradient(system.Ax, system.bx, tol=1e-9)
+        assert result.converged
+        # Equilibrium lies within the hull of anchors/fixed positions.
+        assert np.all(result.x >= -1e-6) and np.all(result.x <= 100.0 + 1e-6)
+
+
+class TestPlacementProperties:
+    @given(
+        st.lists(
+            st.tuples(finite, finite), min_size=1, max_size=15
+        )
+    )
+    @settings(max_examples=30)
+    def test_clamp_idempotent(self, coords):
+        b = NetlistBuilder("cl")
+        for i in range(len(coords)):
+            b.add_cell(f"c{i}", 2.0, 2.0)
+        nl = b.build()
+        region = PlacementRegion.standard_cell(50.0, 50.0, 5.0)
+        p = Placement(
+            nl,
+            np.array([c[0] for c in coords]),
+            np.array([c[1] for c in coords]),
+        )
+        p.clamp_to_region(region)
+        once_x = p.x.copy()
+        p.clamp_to_region(region)
+        assert np.array_equal(p.x, once_x)
+        for i in range(nl.num_cells):
+            assert region.bounds.contains_rect(p.rect_of(i).expanded(-1e-9))

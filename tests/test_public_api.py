@@ -1,0 +1,63 @@
+"""Meta-tests on the public API surface: exports resolve, docs exist."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.netlist",
+    "repro.geometry",
+    "repro.evaluation",
+    "repro.timing",
+    "repro.legalize",
+    "repro.baselines",
+    "repro.congestion",
+    "repro.thermal",
+    "repro.eco",
+    "repro.floorplan",
+    "repro.viz",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} has no __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_module_docstrings(package):
+    module = importlib.import_module(package)
+    assert module.__doc__, f"{package} has no module docstring"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_callables_documented(package):
+    """Every exported class and function carries a docstring."""
+    module = importlib.import_module(package)
+    undocumented = []
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not inspect.getdoc(obj):
+                undocumented.append(name)
+    assert not undocumented, f"{package}: no docstring on {undocumented}"
+
+
+def test_top_level_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_no_private_leaks():
+    """__all__ never exports underscore-prefixed names."""
+    for package in PACKAGES:
+        module = importlib.import_module(package)
+        for name in module.__all__:
+            assert not name.startswith("_"), f"{package} exports private {name}"

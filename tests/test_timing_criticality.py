@@ -1,0 +1,68 @@
+"""Tests for the criticality tracker and weight update scheme."""
+
+import numpy as np
+import pytest
+
+from repro.timing import CriticalityTracker
+from repro.timing.sta import STAResult
+
+
+class _FakeSta:
+    """Minimal stand-in exposing critical_nets()."""
+
+    def __init__(self, critical):
+        self._critical = np.asarray(critical, dtype=np.int64)
+
+    def critical_nets(self, fraction):
+        return self._critical
+
+
+class TestCriticalityUpdate:
+    def test_never_critical_stays_one(self, four_cell_netlist):
+        tracker = CriticalityTracker(four_cell_netlist)
+        for _ in range(5):
+            tracker.update(_FakeSta([]))
+        assert np.allclose(tracker.weights, 1.0)
+        assert np.allclose(tracker.criticality, 0.0)
+
+    def test_always_critical_doubles(self, four_cell_netlist):
+        tracker = CriticalityTracker(four_cell_netlist)
+        w_prev = 1.0
+        c = 0.0
+        for step in range(4):
+            tracker.update(_FakeSta([0]))
+            c = (c + 1.0) / 2.0
+            w_prev = w_prev * (1.0 + c)
+            assert tracker.criticality[0] == pytest.approx(c)
+            assert tracker.weights[0] == pytest.approx(w_prev)
+        # Asymptotically criticality -> 1 and weight doubles per step.
+        for _ in range(20):
+            tracker.update(_FakeSta([0]))
+        assert tracker.criticality[0] == pytest.approx(1.0, abs=1e-4)
+
+    def test_paper_half_life(self, four_cell_netlist):
+        """Critical at step m contributes 50%, at m-1 contributes 25%."""
+        tracker = CriticalityTracker(four_cell_netlist)
+        tracker.update(_FakeSta([1]))
+        assert tracker.criticality[1] == pytest.approx(0.5)
+        tracker.update(_FakeSta([]))
+        assert tracker.criticality[1] == pytest.approx(0.25)
+        tracker.update(_FakeSta([]))
+        assert tracker.criticality[1] == pytest.approx(0.125)
+
+    def test_weight_cap(self, four_cell_netlist):
+        tracker = CriticalityTracker(four_cell_netlist, max_weight=4.0)
+        for _ in range(20):
+            tracker.update(_FakeSta([0]))
+        assert tracker.weights[0] == 4.0
+
+    def test_reset(self, four_cell_netlist):
+        tracker = CriticalityTracker(four_cell_netlist)
+        tracker.update(_FakeSta([0, 1]))
+        tracker.reset()
+        assert np.allclose(tracker.weights, 1.0)
+        assert np.allclose(tracker.criticality, 0.0)
+
+    def test_invalid_fraction(self, four_cell_netlist):
+        with pytest.raises(ValueError):
+            CriticalityTracker(four_cell_netlist, critical_fraction=0.0)

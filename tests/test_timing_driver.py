@@ -1,0 +1,83 @@
+"""Tests for the timing-driven placement flows."""
+
+import pytest
+
+from repro import (
+    KraftwerkPlacer,
+    PlacerConfig,
+    StaticTimingAnalyzer,
+    TimingDrivenPlacer,
+    exploitation_percent,
+    meet_timing_requirement,
+)
+
+
+class TestExploitation:
+    def test_formula(self):
+        assert exploitation_percent(20.0, 15.0, 10.0) == pytest.approx(50.0)
+        assert exploitation_percent(20.0, 20.0, 10.0) == 0.0
+
+    def test_no_potential_raises(self):
+        with pytest.raises(ValueError):
+            exploitation_percent(10.0, 9.0, 10.0)
+
+
+class TestTimingDrivenPlacer:
+    def test_improves_or_matches_plain(self, small_circuit):
+        nl, region = small_circuit.netlist, small_circuit.region
+        analyzer = StaticTimingAnalyzer(nl)
+        plain = KraftwerkPlacer(nl, region).place()
+        plain_delay = analyzer.analyze(plain.placement).max_delay_ns
+        tdp = TimingDrivenPlacer(nl, region)
+        timed = tdp.place()
+        # Timing-driven must not be dramatically worse; usually better.
+        assert timed.max_delay_ns <= plain_delay * 1.05
+        assert timed.max_delay_ns >= analyzer.lower_bound_ns() - 1e-9
+
+    def test_result_fields(self, small_circuit):
+        tdp = TimingDrivenPlacer(small_circuit.netlist, small_circuit.region)
+        result = tdp.place()
+        assert result.hpwl_m > 0.0
+        assert result.weights.min() >= 1.0
+        assert result.sta.max_delay_ns == result.max_delay_ns
+
+
+class TestMeetRequirement:
+    def test_loose_requirement_met_in_phase_one(self, small_circuit):
+        nl, region = small_circuit.netlist, small_circuit.region
+        result = meet_timing_requirement(nl, region, requirement_ns=1e9)
+        assert result.met
+        assert len(result.tradeoff) == 1
+
+    def test_requirement_guaranteed_when_met(self, small_circuit):
+        nl, region = small_circuit.netlist, small_circuit.region
+        analyzer = StaticTimingAnalyzer(nl)
+        plain = KraftwerkPlacer(nl, region).place()
+        base_delay = analyzer.analyze(plain.placement).max_delay_ns
+        target = base_delay * 0.995  # slightly tighter than as-placed
+        result = meet_timing_requirement(nl, region, requirement_ns=target, max_steps=15)
+        if result.met:
+            # The final analysis ran on the returned placement: re-check.
+            check = analyzer.analyze(result.placement)
+            assert check.max_delay_ns <= target + 1e-9
+            assert result.achieved_ns == pytest.approx(check.max_delay_ns)
+
+    def test_impossible_requirement_not_met(self, tiny_circuit):
+        nl, region = tiny_circuit.netlist, tiny_circuit.region
+        lb = StaticTimingAnalyzer(nl).lower_bound_ns()
+        result = meet_timing_requirement(
+            nl, region, requirement_ns=lb * 0.5, max_steps=3
+        )
+        assert not result.met
+        assert result.achieved_ns > lb * 0.5
+
+    def test_tradeoff_recorded(self, tiny_circuit):
+        nl, region = tiny_circuit.netlist, tiny_circuit.region
+        lb = StaticTimingAnalyzer(nl).lower_bound_ns()
+        result = meet_timing_requirement(
+            nl, region, requirement_ns=lb * 0.9, max_steps=4
+        )
+        assert len(result.tradeoff) == 5  # phase-1 point + 4 steps
+        steps = [p.step for p in result.tradeoff]
+        assert steps == list(range(5))
+        assert all(p.hpwl_m > 0 for p in result.tradeoff)

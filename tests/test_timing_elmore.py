@@ -1,0 +1,54 @@
+"""Tests for the Elmore net-delay model."""
+
+import numpy as np
+import pytest
+
+from repro import NetlistBuilder, Placement
+from repro.timing import ElmoreModel, net_sink_capacitance
+
+
+class TestElmoreModel:
+    def test_zero_length_zero_delay(self):
+        model = ElmoreModel()
+        assert model.delay_ns_for_length(0.0, 1e-12) == 0.0
+
+    def test_quadratic_term_dominates_long_wires(self):
+        model = ElmoreModel()
+        d1 = model.delay_ns_for_length(1000.0, 0.0)
+        d2 = model.delay_ns_for_length(2000.0, 0.0)
+        assert d2 == pytest.approx(4.0 * d1, rel=1e-9)
+
+    def test_linear_term_dominates_big_loads(self):
+        model = ElmoreModel()
+        big_cap = 1.0e-9
+        d1 = model.delay_ns_for_length(1000.0, big_cap)
+        d2 = model.delay_ns_for_length(2000.0, big_cap)
+        assert d2 == pytest.approx(2.0 * d1, rel=0.01)
+
+    def test_paper_parameters(self):
+        # r = 25.5 kOhm/m, c = 242 pF/m: a 1 mm wire with no load.
+        model = ElmoreModel()
+        expected = 25.5e3 * 1e-3 * (242e-12 * 1e-3 / 2.0) * 1e9
+        assert model.delay_ns_for_length(1000.0, 0.0) == pytest.approx(expected)
+
+    def test_vectorized_matches_scalar(self):
+        b = NetlistBuilder("t")
+        b.add_cell("a", 10.0, 10.0, input_cap=2e-13)
+        b.add_cell("bb", 10.0, 10.0, input_cap=3e-13)
+        b.add_cell("c", 10.0, 10.0, input_cap=1e-13)
+        b.add_net("n0", [("a", "output"), ("bb", "input"), ("c", "input")])
+        nl = b.build()
+        p = Placement(nl, np.array([0.0, 300.0, 100.0]), np.array([0.0, 50.0, 0.0]))
+        model = ElmoreModel()
+        caps = net_sink_capacitance(nl)
+        assert caps[0] == pytest.approx(4e-13)
+        delays = model.net_delays_ns(p, caps)
+        assert delays[0] == pytest.approx(model.delay_ns_for_length(350.0, 4e-13))
+
+    def test_sink_caps_exclude_driver(self):
+        b = NetlistBuilder("t")
+        b.add_cell("a", 10.0, 10.0, input_cap=9e-13)
+        b.add_cell("bb", 10.0, 10.0, input_cap=2e-13)
+        b.add_net("n0", [("a", "output"), ("bb", "input")])
+        caps = net_sink_capacitance(b.build())
+        assert caps[0] == pytest.approx(2e-13)

@@ -1,0 +1,97 @@
+"""Tests for timing-graph extraction, boundaries and cycle breaking."""
+
+import pytest
+
+from repro import NetlistBuilder
+from repro.timing import build_timing_graph
+
+
+def _chain(n: int, register_at=(), max_degree: int = 60):
+    b = NetlistBuilder("chain")
+    b.add_fixed_cell("pin", 1.0, 1.0, x=0.0, y=0.0)
+    b.add_fixed_cell("pout", 1.0, 1.0, x=100.0, y=0.0)
+    for i in range(n):
+        b.add_cell(f"c{i}", 4.0, 4.0, delay=1.0, is_register=(i in register_at))
+    b.add_net("nin", [("pin", "output"), ("c0", "input")])
+    for i in range(n - 1):
+        b.add_net(f"n{i}", [(f"c{i}", "output"), (f"c{i+1}", "input")])
+    b.add_net("nout", [(f"c{n-1}", "output"), ("pout", "input")])
+    return b.build()
+
+
+class TestGraphConstruction:
+    def test_chain_arcs(self):
+        nl = _chain(3)
+        g = build_timing_graph(nl)
+        assert g.num_arcs == 4  # pin->c0, c0->c1, c1->c2, c2->pout
+        assert not g.broken_arcs
+
+    def test_topological_order(self):
+        nl = _chain(5)
+        g = build_timing_graph(nl)
+        pos = {cell: i for i, cell in enumerate(g.topo_order)}
+        for arc in g.arcs:
+            dst_cell = nl.cells[arc.dst]
+            if not (dst_cell.is_register or dst_cell.fixed):
+                assert pos[arc.src] < pos[arc.dst]
+
+    def test_sources_and_endpoints(self):
+        nl = _chain(3, register_at=(1,))
+        g = build_timing_graph(nl)
+        names = {nl.cells[i].name for i in g.sources}
+        assert "pin" in names and "c1" in names
+        end_names = {nl.cells[i].name for i in g.endpoints}
+        assert "pout" in end_names and "c1" in end_names
+
+    def test_big_nets_ignored(self):
+        b = NetlistBuilder("big")
+        for i in range(10):
+            b.add_cell(f"c{i}", 1.0, 1.0)
+        b.add_net("fanout", [("c0", "output")] + [(f"c{i}", "input") for i in range(1, 10)])
+        g = build_timing_graph(b.build(), max_timing_degree=5)
+        assert g.num_arcs == 0
+
+    def test_undirected_nets_ignored(self):
+        b = NetlistBuilder("u")
+        b.add_cell("a", 1.0, 1.0)
+        b.add_cell("bb", 1.0, 1.0)
+        b.add_net("n", ["a", "bb"])  # two inputs, no driver
+        g = build_timing_graph(b.build())
+        assert g.num_arcs == 0
+
+    def test_arc_arrays(self):
+        nl = _chain(3)
+        g = build_timing_graph(nl)
+        src, dst, net = g.arc_arrays()
+        assert len(src) == len(dst) == len(net) == g.num_arcs
+
+
+class TestCycleBreaking:
+    def _cycle(self):
+        b = NetlistBuilder("cyc")
+        b.add_cell("a", 1.0, 1.0, delay=1.0)
+        b.add_cell("bb", 1.0, 1.0, delay=1.0)
+        b.add_cell("c", 1.0, 1.0, delay=1.0)
+        b.add_net("n0", [("a", "output"), ("bb", "input")])
+        b.add_net("n1", [("bb", "output"), ("c", "input")])
+        b.add_net("n2", [("c", "output"), ("a", "input")])
+        return b.build()
+
+    def test_cycle_broken(self):
+        g = build_timing_graph(self._cycle())
+        assert len(g.broken_arcs) >= 1
+        assert g.num_arcs + len(g.broken_arcs) == 3
+        # Remaining graph is acyclic: topological property holds.
+        pos = {cell: i for i, cell in enumerate(g.topo_order)}
+        for arc in g.arcs:
+            assert pos[arc.src] < pos[arc.dst]
+
+    def test_register_breaks_cycle_naturally(self):
+        b = NetlistBuilder("regcyc")
+        b.add_cell("a", 1.0, 1.0, delay=1.0)
+        b.add_cell("r", 1.0, 1.0, delay=1.0, is_register=True)
+        b.add_net("n0", [("a", "output"), ("r", "input")])
+        b.add_net("n1", [("r", "output"), ("a", "input")])
+        g = build_timing_graph(b.build())
+        assert not g.broken_arcs  # register boundary, no structural cycle
+        assert g.num_arcs == 2

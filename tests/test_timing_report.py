@@ -1,0 +1,60 @@
+"""Tests for the human-readable timing reports."""
+
+import pytest
+
+from repro import StaticTimingAnalyzer
+from repro.timing import critical_path_report, slack_histogram, timing_summary
+
+
+@pytest.fixture()
+def analyzed(small_circuit, placed_small):
+    analyzer = StaticTimingAnalyzer(small_circuit.netlist)
+    sta = analyzer.analyze(placed_small.placement)
+    return analyzer, sta
+
+
+class TestCriticalPathReport:
+    def test_contains_path_cells(self, small_circuit, analyzed):
+        analyzer, sta = analyzed
+        report = critical_path_report(analyzer, sta)
+        for cell_index in sta.critical_path[:3]:
+            assert small_circuit.netlist.cells[cell_index].name in report
+        assert f"{sta.max_delay_ns:.3f}" in report
+
+    def test_cumulative_matches_analysis(self, analyzed):
+        analyzer, sta = analyzed
+        report = critical_path_report(analyzer, sta, max_rows=1000)
+        last_line = report.strip().splitlines()[-1]
+        final_arrival = float(last_line.split()[-1])
+        assert final_arrival == pytest.approx(sta.max_delay_ns, rel=0.02)
+
+    def test_row_cap(self, analyzed):
+        analyzer, sta = analyzed
+        report = critical_path_report(analyzer, sta, max_rows=3)
+        assert "..." in report
+
+
+class TestSlackHistogram:
+    def test_counts_all_timed_nets(self, analyzed):
+        _analyzer, sta = analyzed
+        out = slack_histogram(sta)
+        timed = int((sta.net_slack_ns < 1e29).sum())
+        assert f"{timed} timed nets" in out
+        total = sum(
+            int(line.split()[-2] if line.strip().endswith("#") else line.split()[-1])
+            for line in out.splitlines()[1:]
+        )
+        assert total == timed
+
+    def test_bins_parameter(self, analyzed):
+        _analyzer, sta = analyzed
+        out = slack_histogram(sta, bins=4)
+        assert len(out.splitlines()) == 5
+
+
+class TestSummary:
+    def test_summary_composes(self, small_circuit, placed_small):
+        out = timing_summary(small_circuit.netlist, placed_small.placement)
+        assert "longest path" in out
+        assert "critical path" in out
+        assert "histogram" in out

@@ -1,0 +1,145 @@
+"""Tests for static timing analysis: arrivals, slacks, critical paths."""
+
+import numpy as np
+import pytest
+
+from repro import NetlistBuilder, Placement, PlacementRegion
+from repro.timing import ElmoreModel, StaticTimingAnalyzer
+
+
+@pytest.fixture()
+def chain():
+    """pin -> a(1ns) -> b(2ns) -> pout, all at known positions."""
+    b = NetlistBuilder("chain")
+    b.add_fixed_cell("pin", 1.0, 1.0, x=0.0, y=0.0)
+    b.add_fixed_cell("pout", 1.0, 1.0, x=3000.0, y=0.0)
+    b.add_cell("a", 10.0, 10.0, delay=1.0, input_cap=1e-13)
+    b.add_cell("bb", 10.0, 10.0, delay=2.0, input_cap=1e-13)
+    b.add_net("n0", [("pin", "output"), ("a", "input")])
+    b.add_net("n1", [("a", "output"), ("bb", "input")])
+    b.add_net("n2", [("bb", "output"), ("pout", "input")])
+    nl = b.build()
+    p = Placement(
+        nl,
+        x=np.array([0.0, 3000.0, 1000.0, 2000.0]),
+        y=np.zeros(4),
+    )
+    return nl, p
+
+
+class TestArrivals:
+    def test_zero_wire_lower_bound(self, chain):
+        nl, p = chain
+        an = StaticTimingAnalyzer(nl)
+        # Path: pin(0) -> a(1) -> b(2): lower bound = 3 ns of cell delay.
+        assert an.lower_bound_ns() == pytest.approx(3.0)
+
+    def test_arrival_includes_wire_delay(self, chain):
+        nl, p = chain
+        an = StaticTimingAnalyzer(nl)
+        sta = an.analyze(p)
+        model = ElmoreModel()
+        wire = (
+            model.delay_ns_for_length(1000.0, 1e-13)  # pin->a
+            + model.delay_ns_for_length(1000.0, 1e-13)  # a->b
+            + model.delay_ns_for_length(1000.0, 0.0)  # b->pout (pad has cap too)
+        )
+        # pout input cap defaults to 5e-13; recompute exactly.
+        pout_cap = nl.cell_by_name("pout").input_cap
+        wire = (
+            model.delay_ns_for_length(1000.0, 1e-13)
+            + model.delay_ns_for_length(1000.0, 1e-13)
+            + model.delay_ns_for_length(1000.0, pout_cap)
+        )
+        assert sta.max_delay_ns == pytest.approx(3.0 + wire, rel=1e-9)
+
+    def test_explicit_net_delays(self, chain):
+        nl, _ = chain
+        an = StaticTimingAnalyzer(nl)
+        sta = an.analyze(net_delays_ns=np.array([1.0, 1.0, 1.0]))
+        assert sta.max_delay_ns == pytest.approx(6.0)
+
+    def test_needs_placement_or_delays(self, chain):
+        nl, _ = chain
+        with pytest.raises(ValueError):
+            StaticTimingAnalyzer(nl).analyze()
+
+
+class TestCriticalPath:
+    def test_path_cells(self, chain):
+        nl, p = chain
+        sta = StaticTimingAnalyzer(nl).analyze(p)
+        names = [nl.cells[i].name for i in sta.critical_path]
+        assert names == ["pin", "a", "bb", "pout"]
+
+    def test_parallel_paths_pick_slower(self):
+        b = NetlistBuilder("par")
+        b.add_fixed_cell("pin", 1.0, 1.0, x=0.0, y=0.0)
+        b.add_fixed_cell("pout", 1.0, 1.0, x=100.0, y=0.0)
+        b.add_cell("fast", 5.0, 5.0, delay=1.0)
+        b.add_cell("slow", 5.0, 5.0, delay=9.0)
+        b.add_net("ni", [("pin", "output"), ("fast", "input"), ("slow", "input")])
+        b.add_net("nf", [("fast", "output"), ("pout", "input")])
+        b.add_net("ns", [("slow", "output"), ("pout", "input")])
+        nl = b.build()
+        an = StaticTimingAnalyzer(nl)
+        sta = an.analyze(net_delays_ns=np.zeros(3))
+        names = [nl.cells[i].name for i in sta.critical_path]
+        assert "slow" in names and "fast" not in names
+        assert sta.max_delay_ns == pytest.approx(9.0)
+
+
+class TestSlacks:
+    def test_worst_slack_zero_at_default_requirement(self, chain):
+        nl, p = chain
+        sta = StaticTimingAnalyzer(nl).analyze(p)
+        assert sta.worst_slack_ns == pytest.approx(0.0, abs=1e-9)
+
+    def test_requirement_shifts_slack(self, chain):
+        nl, p = chain
+        an = StaticTimingAnalyzer(nl)
+        base = an.analyze(p)
+        relaxed = an.analyze(p, requirement_ns=base.max_delay_ns + 5.0)
+        assert relaxed.worst_slack_ns == pytest.approx(5.0, abs=1e-9)
+
+    def test_critical_nets_selection(self, chain):
+        nl, p = chain
+        sta = StaticTimingAnalyzer(nl).analyze(p)
+        crit = sta.critical_nets(fraction=0.4)
+        assert len(crit) >= 1
+        # Every critical net's slack must be <= any non-critical net's.
+        others = [j for j in range(nl.num_nets) if j not in crit]
+        if others:
+            assert sta.net_slack_ns[crit].max() <= sta.net_slack_ns[others].min() + 1e-9
+
+    def test_critical_nets_fraction_validated(self, chain):
+        nl, p = chain
+        sta = StaticTimingAnalyzer(nl).analyze(p)
+        with pytest.raises(ValueError):
+            sta.critical_nets(fraction=0.0)
+
+
+class TestRegisterBoundaries:
+    def test_register_splits_paths(self):
+        b = NetlistBuilder("reg")
+        b.add_fixed_cell("pin", 1.0, 1.0, x=0.0, y=0.0)
+        b.add_fixed_cell("pout", 1.0, 1.0, x=100.0, y=0.0)
+        b.add_cell("a", 5.0, 5.0, delay=4.0)
+        b.add_cell("r", 5.0, 5.0, delay=0.5, is_register=True)
+        b.add_cell("bb", 5.0, 5.0, delay=4.0)
+        b.add_net("n0", [("pin", "output"), ("a", "input")])
+        b.add_net("n1", [("a", "output"), ("r", "input")])
+        b.add_net("n2", [("r", "output"), ("bb", "input")])
+        b.add_net("n3", [("bb", "output"), ("pout", "input")])
+        nl = b.build()
+        sta = StaticTimingAnalyzer(nl).analyze(net_delays_ns=np.zeros(4))
+        # Two stages: pin->a->r (4 ns) and r->b->pout (0.5 + 4 = 4.5 ns);
+        # NOT 8.5 ns end to end.
+        assert sta.max_delay_ns == pytest.approx(4.5)
+
+    def test_full_circuit_sta_runs(self, small_circuit, placed_small):
+        an = StaticTimingAnalyzer(small_circuit.netlist)
+        sta = an.analyze(placed_small.placement)
+        assert sta.max_delay_ns > 0.0
+        assert len(sta.critical_path) >= 2
+        assert sta.max_delay_ns >= an.lower_bound_ns() - 1e-9

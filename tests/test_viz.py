@@ -1,0 +1,107 @@
+"""Tests for the SVG and ASCII visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Grid, Rect
+from repro.viz import (
+    SVGCanvas,
+    ascii_heatmap,
+    ascii_placement,
+    curve_svg,
+    heatmap_svg,
+    placement_svg,
+    sparkline,
+)
+
+
+class TestSvgCanvas:
+    def test_document_structure(self):
+        canvas = SVGCanvas(Rect(0, 0, 100, 50), width_px=400)
+        canvas.rect(Rect(10, 10, 20, 10), fill="#123456")
+        canvas.line(0, 0, 100, 50)
+        canvas.text(5, 5, "hello")
+        svg = canvas.to_string()
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "#123456" in svg
+        assert "hello" in svg
+
+    def test_y_axis_flipped(self):
+        canvas = SVGCanvas(Rect(0, 0, 100, 100), width_px=120, margin_px=10)
+        # World y=0 maps near the bottom of the image.
+        assert canvas._ty(0.0) > canvas._ty(100.0)
+
+    def test_save(self, tmp_path):
+        canvas = SVGCanvas(Rect(0, 0, 10, 10))
+        path = tmp_path / "out.svg"
+        canvas.save(path)
+        assert path.read_text().startswith("<svg")
+
+
+class TestPlacementSvg:
+    def test_renders_all_cells(self, small_circuit, placed_small, tmp_path):
+        path = tmp_path / "p.svg"
+        svg = placement_svg(
+            placed_small.placement, small_circuit.region, path=path,
+            highlight_nets=[0, 1],
+        )
+        # one rect per cell + rows + region + background
+        assert svg.count("<rect") >= small_circuit.netlist.num_cells
+        assert "<line" in svg  # highlighted nets
+        assert path.exists()
+
+
+class TestHeatmapSvg:
+    def test_gradient(self):
+        grid = Grid(Rect(0, 0, 10, 10), 2, 2)
+        values = np.array([[0.0, 1.0], [0.5, 0.25]])
+        svg = heatmap_svg(grid, values)
+        assert svg.count("rgb(") == 4
+
+    def test_shape_check(self):
+        grid = Grid(Rect(0, 0, 10, 10), 2, 2)
+        with pytest.raises(ValueError):
+            heatmap_svg(grid, np.zeros((3, 3)))
+
+
+class TestCurveSvg:
+    def test_multiple_series(self):
+        svg = curve_svg([("a", [1.0, 2.0, 1.5]), ("b", [0.5, 0.6])])
+        assert svg.count("<polyline") == 2
+        assert "a" in svg and "b" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            curve_svg([])
+
+
+class TestAscii:
+    def test_heatmap_shades(self):
+        out = ascii_heatmap(np.array([[0.0, 1.0], [0.5, 0.0]]))
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1][1] == "@"  # flipped: max value top-right -> bottom?
+
+    def test_heatmap_no_flip(self):
+        out = ascii_heatmap(np.array([[0.0, 1.0]]), flip=False)
+        assert out[0] == " " and out[1] == "@"
+
+    def test_placement_map(self, small_circuit, placed_small):
+        out = ascii_placement(placed_small.placement, small_circuit.region,
+                              cols=40, rows=12)
+        lines = out.splitlines()
+        assert len(lines) == 12
+        assert all(len(line) == 40 for line in lines)
+
+    def test_sparkline(self):
+        out = sparkline([1, 2, 3, 4, 5])
+        assert len(out) == 5
+        assert out[0] == "▁" and out[-1] == "█"
+
+    def test_sparkline_downsamples(self):
+        out = sparkline(range(1000), width=50)
+        assert len(out) <= 50
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,59 @@
+"""Additional visualization tests: block rendering, curves, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro import NetlistBuilder, Placement, PlacementRegion
+from repro.netlist import CellKind
+from repro.viz import ascii_placement, curve_svg, placement_svg, sparkline
+
+
+@pytest.fixture()
+def mixed_placement():
+    b = NetlistBuilder("viz")
+    b.add_block("blk", 60.0, 40.0)
+    for i in range(6):
+        b.add_cell(f"c{i}", 10.0, 10.0)
+    b.add_fixed_cell("pad", 2.0, 2.0, x=0.0, y=0.0)
+    nl = b.build()
+    region = PlacementRegion.standard_cell(200.0, 100.0, 10.0)
+    x = np.array([100.0, 20.0, 40.0, 60.0, 150.0, 170.0, 180.0, 0.0])
+    y = np.array([50.0, 15.0, 15.0, 15.0, 75.0, 75.0, 75.0, 0.0])
+    return nl, region, Placement(nl, x, y)
+
+
+class TestBlockRendering:
+    def test_ascii_marks_blocks(self, mixed_placement):
+        nl, region, placement = mixed_placement
+        out = ascii_placement(placement, region, cols=40, rows=10)
+        assert "#" in out  # the block footprint
+
+    def test_svg_block_color(self, mixed_placement):
+        nl, region, placement = mixed_placement
+        svg = placement_svg(placement, region)
+        assert "#d9a441" in svg  # block fill
+        assert "#9aa0a6" in svg  # fixed-cell fill
+        assert "#4a7fb5" in svg  # standard-cell fill
+
+
+class TestCurveEdgeCases:
+    def test_single_point_series(self):
+        svg = curve_svg([("only", [5.0])])
+        assert "<polyline" in svg
+
+    def test_constant_series(self):
+        svg = curve_svg([("flat", [2.0, 2.0, 2.0])])
+        assert "<polyline" in svg
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            curve_svg([("empty", [])])
+
+
+class TestSparklineEdgeCases:
+    def test_constant_values(self):
+        out = sparkline([3.0, 3.0, 3.0])
+        assert len(out) == 3
+
+    def test_single_value(self):
+        assert len(sparkline([1.0])) == 1
