@@ -1,0 +1,13 @@
+"""Repo-root pytest bootstrap.
+
+Puts ``src`` on ``sys.path`` before test collection so ``import repro``
+resolves without an editable install or a manual ``PYTHONPATH=src``.
+(An editable install — ``pip install -e .[dev]`` — makes this a no-op.)
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -23,6 +23,8 @@ Sub-packages:
 - :mod:`repro.eco` — incremental (ECO) placement.
 - :mod:`repro.floorplan` — mixed block/cell flow.
 - :mod:`repro.evaluation` — wire length, overlap and report helpers.
+- :mod:`repro.observability` — span timers, metric streams, trace export
+  and the ``repro bench`` regression harness.
 """
 
 from .geometry import Grid, PlacementRegion, Rect
@@ -87,6 +89,13 @@ from .congestion import CongestionDrivenPlacer, ProbabilisticRouter
 from .thermal import HeatDrivenPlacer, ThermalModel
 from .eco import NetlistDelta, eco_place
 from .floorplan import MixedSizePlacer
+from .observability import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    SpanRecorder,
+    Telemetry,
+    read_trace_jsonl,
+)
 
 __version__ = "1.0.0"
 
@@ -146,4 +155,9 @@ __all__ = [
     "NetlistDelta",
     "eco_place",
     "MixedSizePlacer",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "SpanRecorder",
+    "Telemetry",
+    "read_trace_jsonl",
 ]

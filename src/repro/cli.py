@@ -6,6 +6,8 @@ Commands
 ``place``    global placement (+ optional legalization, SVG, output files).
 ``timing``   longest-path analysis of a placement.
 ``convert``  convert between the repro text format and Bookshelf.
+``bench``    place + legalize the generator circuits under telemetry and
+             write the ``BENCH_kraftwerk.json`` regression report.
 
 Examples::
 
@@ -16,6 +18,7 @@ Examples::
         --placement out/primary1.placement
     python -m repro convert --netlist out/primary1.netlist \
         --placement out/primary1.placement --bookshelf out/primary1
+    python -m repro bench --size tiny
 """
 
 from __future__ import annotations
@@ -169,6 +172,34 @@ def cmd_route(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    # Imported lazily: bench pulls in the whole placer stack.
+    from .observability.bench import BENCH_SIZES, write_bench_report
+
+    sizes = list(BENCH_SIZES) if args.size == "all" else [args.size]
+    report = write_bench_report(
+        sizes,
+        out_path=args.out,
+        seed=args.seed,
+        legalize=not args.no_legalize,
+        trace_path=args.trace,
+    )
+    for run in report["runs"]:
+        phases = run["phases"]
+        hot = sorted(phases.items(), key=lambda kv: -kv[1])[:3]
+        hot_str = ", ".join(f"{name} {sec:.3f}s" for name, sec in hot)
+        det = "ok" if run["determinism"]["deterministic"] else "MISMATCH"
+        print(
+            f"bench {run['size']:<6}: hpwl {run['final_hpwl_m']:.4f} m, "
+            f"{run['iterations']} iterations, determinism {det}"
+        )
+        print(f"  hot phases: {hot_str}")
+    print(f"wrote {args.out}")
+    if args.trace:
+        print(f"wrote trace {args.trace}")
+    return 0 if report["deterministic"] else 1
+
+
 def cmd_convert(args) -> int:
     netlist, region = _load_design(args)
     placement = (
@@ -220,6 +251,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="routing tracks per grid edge")
     p_route.add_argument("--svg", help="write the congestion map here")
     p_route.set_defaults(func=cmd_route)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the telemetry/regression bench suite"
+    )
+    p_bench.add_argument("--size", default="tiny",
+                         choices=["tiny", "small", "medium", "all"],
+                         help="generator circuit size (default tiny)")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--out", default="BENCH_kraftwerk.json",
+                         help="report path (default BENCH_kraftwerk.json)")
+    p_bench.add_argument("--no-legalize", action="store_true",
+                         help="skip the final placement step")
+    p_bench.add_argument("--trace",
+                         help="also write the primary run's JSONL trace here")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_convert = sub.add_parser("convert", help="export to Bookshelf")
     _add_design_args(p_convert)

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..geometry import Grid, PlacementRegion, Rect
 from ..netlist import Netlist, Placement
+from ..observability import NULL_TELEMETRY
 
 
 def density_grid(
@@ -136,7 +137,10 @@ class DensityModel:
         return demand
 
     def compute(
-        self, placement: Placement, extra_demand: Optional[np.ndarray] = None
+        self,
+        placement: Placement,
+        extra_demand: Optional[np.ndarray] = None,
+        telemetry=NULL_TELEMETRY,
     ) -> DensityResult:
         """The discrete density ``D``, optionally with extra demand folded in.
 
@@ -145,20 +149,24 @@ class DensityModel:
         area demand.  The supply rate ``s`` is recomputed so the density
         still integrates to zero.
         """
-        demand = self.demand_map(placement)
-        if extra_demand is not None:
-            if extra_demand.shape != demand.shape:
-                raise ValueError(
-                    f"extra demand shape {extra_demand.shape} does not match "
-                    f"grid {demand.shape}"
-                )
-            demand = demand + extra_demand
-        total = float(demand.sum())
-        supply_rate = total / self.region.area
-        density = demand - supply_rate * self.grid.bin_area
-        return DensityResult(
-            grid=self.grid,
-            demand=demand,
-            supply_rate=supply_rate,
-            density=density,
-        )
+        with telemetry.span("density") as span:
+            demand = self.demand_map(placement)
+            if extra_demand is not None:
+                if extra_demand.shape != demand.shape:
+                    raise ValueError(
+                        f"extra demand shape {extra_demand.shape} does not "
+                        f"match grid {demand.shape}"
+                    )
+                demand = demand + extra_demand
+            total = float(demand.sum())
+            supply_rate = total / self.region.area
+            density = demand - supply_rate * self.grid.bin_area
+            span.add("bins", self.grid.nx * self.grid.ny)
+            span.add("splatted_cells", self._small.size)
+            span.add("rasterized_cells", self._large.size)
+            return DensityResult(
+                grid=self.grid,
+                demand=demand,
+                supply_rate=supply_rate,
+                density=density,
+            )

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..geometry import PlacementRegion
 from ..netlist import Netlist, Placement
+from ..observability import NULL_TELEMETRY
 from .density import DensityModel, DensityResult
 from .poisson import ForceField, compute_force_field
 
@@ -47,10 +48,12 @@ class ForceCalculator:
         method: str = "fft",
         bins: Optional[int] = None,
         max_bins: int = 256,
+        telemetry=NULL_TELEMETRY,
     ):
         self.netlist = netlist
         self.region = region
         self.method = method
+        self.telemetry = telemetry
         self.density_model = density_model or DensityModel(
             netlist, region, bins=bins, max_bins=max_bins
         )
@@ -79,10 +82,18 @@ class ForceCalculator:
         ``K (W + H)`` instead of the bare magnitude.  Without it, a cell on
         a feeble spring would be thrown dozens of chip-widths per step.
         """
-        density = self.density_model.compute(placement, extra_demand=extra_demand)
-        field = compute_force_field(density, method=self.method)
+        telemetry = self.telemetry
+        density = self.density_model.compute(
+            placement, extra_demand=extra_demand, telemetry=telemetry
+        )
+        field = compute_force_field(
+            density, method=self.method, telemetry=telemetry
+        )
         movable = self.netlist.movable_indices
-        raw_fx, raw_fy = field.sample(placement.x[movable], placement.y[movable])
+        with telemetry.span("sample"):
+            raw_fx, raw_fy = field.sample(
+                placement.x[movable], placement.y[movable]
+            )
         magnitude = np.hypot(raw_fx, raw_fy)
         max_mag = float(magnitude.max()) if magnitude.size else 0.0
         # Unevenness damps the kicks to zero as the distribution approaches

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -29,6 +29,7 @@ import scipy.sparse as sp
 from ..evaluation.wirelength import hpwl_meters
 from ..geometry import PlacementRegion, largest_empty_square_side
 from ..netlist import Netlist, Placement
+from ..observability import NULL_TELEMETRY
 from .config import PlacerConfig, STANDARD_K
 from .forces import CellForces, ForceCalculator
 from .linearization import linearization_factors
@@ -53,6 +54,9 @@ class IterationStats:
     force_scale: float
     cg_iterations: int
     seconds: float
+    # Wall-clock per phase (density/poisson/sample/assemble/solve/stats),
+    # filled only when a real telemetry recorder is attached; {} otherwise.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -65,6 +69,9 @@ class PlacementResult:
     history: List[IterationStats] = field(default_factory=list)
     forces: Tuple[np.ndarray, np.ndarray] = (np.zeros(0), np.zeros(0))
     seconds: float = 0.0
+    # Aggregate telemetry summary (span totals + metric-stream tails) when
+    # the placer ran with a real recorder; None under the no-op default.
+    telemetry: Optional[Dict] = None
 
     @property
     def hpwl_m(self) -> float:
@@ -79,12 +86,14 @@ class KraftwerkPlacer:
         netlist: Netlist,
         region: PlacementRegion,
         config: Optional[PlacerConfig] = None,
+        telemetry=None,
     ):
         if netlist.num_movable == 0:
             raise ValueError("netlist has no movable cells")
         self.netlist = netlist
         self.region = region
         self.config = config or PlacerConfig()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         if self.config.net_model == "b2b":
             from .b2b import B2BSystem
 
@@ -98,6 +107,7 @@ class KraftwerkPlacer:
             region,
             bins=self.config.density_bins,
             max_bins=self.config.max_density_bins,
+            telemetry=self.telemetry,
         )
         # Linearization span guard: roughly one cell width, so coincident
         # cells are not welded together by quasi-infinite 1/span weights.
@@ -156,77 +166,107 @@ class KraftwerkPlacer:
         center = self.region.bounds.center
         history: List[IterationStats] = []
         converged = False
+        tel = self.telemetry
+        place_span = tel.span("place")
+        place_span.__enter__()
         t_start = time.perf_counter()
 
-        for m in range(limit):
-            t0 = time.perf_counter()
-            weights = net_weight_hook(m, placement) if net_weight_hook else None
-            extra = extra_demand_hook(m, placement) if extra_demand_hook else None
+        try:
+            for m in range(limit):
+                t0 = time.perf_counter()
+                with tel.span("iteration") as it_span:
+                    weights = (
+                        net_weight_hook(m, placement) if net_weight_hook else None
+                    )
+                    extra = (
+                        extra_demand_hook(m, placement) if extra_demand_hook else None
+                    )
 
-            system = self._assemble(placement, weights, anchor, center)
-            stiffness = np.asarray(system.Ax.diagonal())[: self.system.n_movable]
-            forces = self.force_calc.compute(
-                placement, K=cfg.K, extra_demand=extra, stiffness=stiffness
-            )
-            if cfg.force_mode == "accumulate":
-                e_x += forces.fx
-                e_y += forces.fy
-            elif cfg.force_mode == "hold":
-                # Decaying accumulation (the paper's e <- e + f with a leak):
-                # a persistently overlapping cluster keeps gathering outward
-                # pressure until it separates, while resolved regions forget
-                # their old forces instead of oscillating.
-                e_x = cfg.kick_memory * e_x + forces.fx
-                e_y = cfg.kick_memory * e_y + forces.fy
-            else:  # "replace" has no memory
-                e_x = forces.fx.copy()
-                e_y = forces.fy.copy()
+                    with tel.span("assemble"):
+                        system = self._assemble(placement, weights, anchor, center)
+                        stiffness = np.asarray(system.Ax.diagonal())[
+                            : self.system.n_movable
+                        ]
+                    forces = self.force_calc.compute(
+                        placement, K=cfg.K, extra_demand=extra, stiffness=stiffness
+                    )
+                    if cfg.force_mode == "accumulate":
+                        e_x += forces.fx
+                        e_y += forces.fy
+                    elif cfg.force_mode == "hold":
+                        # Decaying accumulation (the paper's e <- e + f with a
+                        # leak): a persistently overlapping cluster keeps
+                        # gathering outward pressure until it separates, while
+                        # resolved regions forget their old forces instead of
+                        # oscillating.
+                        e_x = cfg.kick_memory * e_x + forces.fx
+                        e_y = cfg.kick_memory * e_y + forces.fy
+                    else:  # "replace" has no memory
+                        e_x = forces.fx.copy()
+                        e_y = forces.fy.copy()
 
-            placement, cg_iters = self._solve(
-                placement, system, e_x, e_y,
-                unevenness=forces.unevenness, anchor=anchor,
-            )
+                    placement, cg_iters = self._solve(
+                        placement, system, e_x, e_y,
+                        unevenness=forces.unevenness, anchor=anchor,
+                    )
 
-            ratio, overflow = self._distribution_state(placement)
-            stats = IterationStats(
-                iteration=m,
-                hpwl_m=hpwl_meters(placement),
-                empty_square_ratio=ratio,
-                overflow_fraction=overflow,
-                max_force=forces.max_magnitude(),
-                force_scale=forces.scale,
-                cg_iterations=cg_iters,
-                seconds=time.perf_counter() - t0,
-            )
-            history.append(stats)
-            if cfg.verbose:
-                print(
-                    f"[kraftwerk {self.netlist.name}] it={m} "
-                    f"hpwl={stats.hpwl_m:.4f}m empty={ratio:.1f} "
-                    f"ovf={overflow:.2f} cg={cg_iters}"
+                    with tel.span("stats"):
+                        ratio, overflow = self._distribution_state(placement)
+
+                stats = IterationStats(
+                    iteration=m,
+                    hpwl_m=hpwl_meters(placement),
+                    empty_square_ratio=ratio,
+                    overflow_fraction=overflow,
+                    max_force=forces.max_magnitude(),
+                    force_scale=forces.scale,
+                    cg_iterations=cg_iters,
+                    seconds=time.perf_counter() - t0,
+                    phase_seconds=it_span.child_seconds(),
                 )
-            if iteration_hook:
-                iteration_hook(stats, placement)
-            if (
-                m + 1 >= cfg.min_iterations
-                and ratio <= cfg.stop_empty_square_cells
-                and overflow <= cfg.stop_overflow_fraction
-            ):
-                converged = True
-                break
-            # Stall detection: the criteria can sit just above threshold
-            # when springs and forces balance; stop rather than spin.
-            score = [
-                max(s.empty_square_ratio / cfg.stop_empty_square_cells,
-                    s.overflow_fraction / max(cfg.stop_overflow_fraction, 1e-9))
-                for s in history
-            ]
-            if (
-                len(history) >= 2 * cfg.stall_iterations
-                and min(score[-cfg.stall_iterations:]) > min(score)
-            ):
-                break
+                history.append(stats)
+                if tel.enabled:
+                    tel.stream("iterations").record(
+                        iteration=m,
+                        hpwl_m=stats.hpwl_m,
+                        empty_square_ratio=ratio,
+                        overflow_fraction=overflow,
+                        max_force=stats.max_force,
+                        force_scale=stats.force_scale,
+                        cg_iterations=cg_iters,
+                        seconds=stats.seconds,
+                        **{f"s_{k}": v for k, v in stats.phase_seconds.items()},
+                    )
+                if cfg.verbose:
+                    print(
+                        f"[kraftwerk {self.netlist.name}] it={m} "
+                        f"hpwl={stats.hpwl_m:.4f}m empty={ratio:.1f} "
+                        f"ovf={overflow:.2f} cg={cg_iters}"
+                    )
+                if iteration_hook:
+                    iteration_hook(stats, placement)
+                if (
+                    m + 1 >= cfg.min_iterations
+                    and ratio <= cfg.stop_empty_square_cells
+                    and overflow <= cfg.stop_overflow_fraction
+                ):
+                    converged = True
+                    break
+                # Stall detection: the criteria can sit just above threshold
+                # when springs and forces balance; stop rather than spin.
+                score = [
+                    max(s.empty_square_ratio / cfg.stop_empty_square_cells,
+                        s.overflow_fraction / max(cfg.stop_overflow_fraction, 1e-9))
+                    for s in history
+                ]
+                if (
+                    len(history) >= 2 * cfg.stall_iterations
+                    and min(score[-cfg.stall_iterations:]) > min(score)
+                ):
+                    break
 
+        finally:
+            place_span.__exit__(None, None, None)
         return PlacementResult(
             placement=placement,
             converged=converged,
@@ -234,6 +274,7 @@ class KraftwerkPlacer:
             history=history,
             forces=(e_x, e_y),
             seconds=time.perf_counter() - t_start,
+            telemetry=tel.summary() if tel.enabled else None,
         )
 
     # ------------------------------------------------------------------
@@ -275,22 +316,27 @@ class KraftwerkPlacer:
         anchor: float = 0.0,
     ) -> Tuple[Placement, int]:
         cfg = self.config
+        tel = self.telemetry
         fx, fy = self.system.forces_to_vars(e_x, e_y)
         x0, y0 = self.system.vars_from_placement(placement)
         if cfg.force_mode == "hold":
+            # _hold_step opens its own "hold" (kick response) and "solve"
+            # (wire-length re-optimization) spans, so both phases show up
+            # side by side in the iteration breakdown.
             new_x, new_y, cg_iters = self._hold_step(
                 system, x0, y0, fx, fy, unevenness, anchor
             )
         else:
-            rx = conjugate_gradient(
-                system.Ax, system.bx + fx, x0=x0,
-                tol=cfg.cg_tol, max_iter=cfg.cg_max_iter,
-            )
-            ry = conjugate_gradient(
-                system.Ay, system.by + fy, x0=y0,
-                tol=cfg.cg_tol, max_iter=cfg.cg_max_iter,
-            )
-            new_x, new_y, cg_iters = rx.x, ry.x, rx.iterations + ry.iterations
+            with tel.span("solve"):
+                rx = conjugate_gradient(
+                    system.Ax, system.bx + fx, x0=x0,
+                    tol=cfg.cg_tol, max_iter=cfg.cg_max_iter, telemetry=tel,
+                )
+                ry = conjugate_gradient(
+                    system.Ay, system.by + fy, x0=y0,
+                    tol=cfg.cg_tol, max_iter=cfg.cg_max_iter, telemetry=tel,
+                )
+                new_x, new_y, cg_iters = rx.x, ry.x, rx.iterations + ry.iterations
         new_placement = self.system.placement_from_vars(new_x, new_y, placement)
         if cfg.clamp_to_region:
             new_placement.clamp_to_region(self.region)
@@ -317,35 +363,43 @@ class KraftwerkPlacer:
         force is the only way to control the step robustly.
         """
         cfg = self.config
+        tel = self.telemetry
         cg_iters = 0
-        # Displacement response to the kick alone.  Each cell is additionally
-        # tethered to its current position (the mu*I term): without it the
-        # kick pours into the near-rigid collective modes of the spring
-        # system (a whole clump drifting is nearly free when only pads hold
-        # it), the raw response explodes, and the rescaled step degenerates
-        # to zero.  The tether localizes the response, exactly like the
-        # fixed-point move springs of follow-up force-directed placers.
-        mu = cfg.response_tether * float(system.Ax.diagonal().mean())
-        Ax_reg = system.Ax + mu * sp.identity(system.Ax.shape[0], format="csr")
-        Ay_reg = system.Ay + mu * sp.identity(system.Ay.shape[0], format="csr")
-        ru = conjugate_gradient(
-            Ax_reg, fx, x0=None, tol=cfg.cg_tol, max_iter=cfg.cg_max_iter
-        )
-        rv = conjugate_gradient(
-            Ay_reg, fy, x0=None, tol=cfg.cg_tol, max_iter=cfg.cg_max_iter
-        )
-        cg_iters += ru.iterations + rv.iterations
-        step = np.hypot(ru.x, rv.x)
-        max_step = float(step.max()) if step.size else 0.0
-        target = unevenness * self.config.K * self.region.half_perimeter
-        # A step cannot usefully exceed a fraction of the region: larger
-        # targets (e.g. the fast mode's K = 1.0 on a small die) would throw
-        # cells across the chip and oscillate instead of converging faster.
-        target = min(target, 0.35 * min(self.region.width, self.region.height))
-        alpha = target / max_step if max_step > 0.0 else 0.0
+        with tel.span("hold"):
+            # Displacement response to the kick alone.  Each cell is
+            # additionally tethered to its current position (the mu*I term):
+            # without it the kick pours into the near-rigid collective modes
+            # of the spring system (a whole clump drifting is nearly free
+            # when only pads hold it), the raw response explodes, and the
+            # rescaled step degenerates to zero.  The tether localizes the
+            # response, exactly like the fixed-point move springs of
+            # follow-up force-directed placers.
+            mu = cfg.response_tether * float(system.Ax.diagonal().mean())
+            Ax_reg = system.Ax + mu * sp.identity(system.Ax.shape[0], format="csr")
+            Ay_reg = system.Ay + mu * sp.identity(system.Ay.shape[0], format="csr")
+            ru = conjugate_gradient(
+                Ax_reg, fx, x0=None, tol=cfg.cg_tol, max_iter=cfg.cg_max_iter,
+                telemetry=tel,
+            )
+            rv = conjugate_gradient(
+                Ay_reg, fy, x0=None, tol=cfg.cg_tol, max_iter=cfg.cg_max_iter,
+                telemetry=tel,
+            )
+            cg_iters += ru.iterations + rv.iterations
+            step = np.hypot(ru.x, rv.x)
+            max_step = float(step.max()) if step.size else 0.0
+            target = unevenness * self.config.K * self.region.half_perimeter
+            # A step cannot usefully exceed a fraction of the region: larger
+            # targets (e.g. the fast mode's K = 1.0 on a small die) would
+            # throw cells across the chip and oscillate instead of
+            # converging faster.
+            target = min(
+                target, 0.35 * min(self.region.width, self.region.height)
+            )
+            alpha = target / max_step if max_step > 0.0 else 0.0
 
-        spread_x = x0 + alpha * ru.x
-        spread_y = y0 + alpha * rv.x
+            spread_x = x0 + alpha * ru.x
+            spread_y = y0 + alpha * rv.x
 
         # Re-optimize wire length around the spread targets: solve the full
         # spring system with an extra pseudo-spring pinning every variable
@@ -358,20 +412,24 @@ class KraftwerkPlacer:
         # must also dominate the center anchor: for sparsely connected (or
         # netless) systems the anchor is the whole diagonal, and a weaker
         # pin would let it pull every step most of the way back to center.
-        pin = cfg.spread_pin * (cfg.K / STANDARD_K) * float(system.Ax.diagonal().mean())
-        pin = max(pin, 10.0 * anchor)
-        Ax_pin = system.Ax + pin * sp.identity(system.Ax.shape[0], format="csr")
-        Ay_pin = system.Ay + pin * sp.identity(system.Ay.shape[0], format="csr")
-        rx = conjugate_gradient(
-            Ax_pin, system.bx + pin * spread_x, x0=spread_x,
-            tol=cfg.cg_tol, max_iter=cfg.cg_max_iter,
-        )
-        ry = conjugate_gradient(
-            Ay_pin, system.by + pin * spread_y, x0=spread_y,
-            tol=cfg.cg_tol, max_iter=cfg.cg_max_iter,
-        )
-        cg_iters += rx.iterations + ry.iterations
-        return rx.x, ry.x, cg_iters
+        with tel.span("solve"):
+            pin = (
+                cfg.spread_pin * (cfg.K / STANDARD_K)
+                * float(system.Ax.diagonal().mean())
+            )
+            pin = max(pin, 10.0 * anchor)
+            Ax_pin = system.Ax + pin * sp.identity(system.Ax.shape[0], format="csr")
+            Ay_pin = system.Ay + pin * sp.identity(system.Ay.shape[0], format="csr")
+            rx = conjugate_gradient(
+                Ax_pin, system.bx + pin * spread_x, x0=spread_x,
+                tol=cfg.cg_tol, max_iter=cfg.cg_max_iter, telemetry=tel,
+            )
+            ry = conjugate_gradient(
+                Ay_pin, system.by + pin * spread_y, x0=spread_y,
+                tol=cfg.cg_tol, max_iter=cfg.cg_max_iter, telemetry=tel,
+            )
+            cg_iters += rx.iterations + ry.iterations
+            return rx.x, ry.x, cg_iters
 
     # ------------------------------------------------------------------
     # Internals

@@ -27,6 +27,7 @@ import numpy as np
 from scipy.signal import fftconvolve
 
 from ..geometry import Grid
+from ..observability import NULL_TELEMETRY
 from .density import DensityResult
 
 _TWO_PI = 2.0 * np.pi
@@ -102,13 +103,18 @@ def force_field_direct(density: DensityResult) -> ForceField:
     )
 
 
-def compute_force_field(density: DensityResult, method: str = "fft") -> ForceField:
+def compute_force_field(
+    density: DensityResult, method: str = "fft", telemetry=NULL_TELEMETRY
+) -> ForceField:
     """Dispatch between the FFT and direct evaluators."""
-    if method == "fft":
-        return force_field_fft(density)
-    if method == "direct":
-        return force_field_direct(density)
-    raise ValueError(f"unknown force-field method {method!r}")
+    with telemetry.span("poisson") as span:
+        grid = density.grid
+        span.add("bins", grid.nx * grid.ny)
+        if method == "fft":
+            return force_field_fft(density)
+        if method == "direct":
+            return force_field_direct(density)
+        raise ValueError(f"unknown force-field method {method!r}")
 
 
 def bilinear_sample(

@@ -15,6 +15,8 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from ..observability import NULL_TELEMETRY
+
 
 @dataclass
 class SolveResult:
@@ -30,11 +32,13 @@ def conjugate_gradient(
     x0: Optional[np.ndarray] = None,
     tol: float = 1e-8,
     max_iter: int = 1000,
+    telemetry=NULL_TELEMETRY,
 ) -> SolveResult:
     """Jacobi-preconditioned CG for SPD systems.
 
     Terminates when ``||r|| <= tol * ||b||`` (or ``||r|| <= tol`` for a zero
-    right-hand side).
+    right-hand side).  ``telemetry`` accumulates ``cg_iterations`` /
+    ``cg_solves`` counters onto the caller's open span.
     """
     A = A.tocsr()
     n = A.shape[0]
@@ -72,6 +76,8 @@ def conjugate_gradient(
         p = z + beta * p
         res_norm = float(np.linalg.norm(r))
         iterations += 1
+    telemetry.add("cg_solves", 1)
+    telemetry.add("cg_iterations", iterations)
     return SolveResult(
         x=x,
         iterations=iterations,

@@ -4,6 +4,7 @@ from typing import Optional, Sequence
 
 from ..geometry import PlacementRegion, Rect
 from ..netlist import Placement
+from ..observability import NULL_TELEMETRY
 from .segments import Segment, build_segments, total_capacity
 from .abacus import AbacusLegalizer, LegalizationResult
 from .greedy import TetrisLegalizer
@@ -18,6 +19,7 @@ def final_placement(
     improver_passes: int = 3,
     legalizer: str = "abacus",
     use_domino: bool = False,
+    telemetry=NULL_TELEMETRY,
 ) -> Placement:
     """Global placement -> legal, locally optimized placement.
 
@@ -27,23 +29,34 @@ def final_placement(
     Domino-style window assignment (``use_domino=True``) which untangles
     permutations beyond the reach of pairwise swaps.
     """
-    if legalizer == "abacus":
-        legal = AbacusLegalizer(region, obstacles=obstacles).legalize(placement)
-    elif legalizer == "tetris":
-        legal = TetrisLegalizer(region, obstacles=obstacles).legalize(placement)
-    else:
-        raise ValueError(f"unknown legalizer {legalizer!r}")
-    if not legal.success:
-        raise RuntimeError(
-            f"legalization failed for {len(legal.failed_cells)} cells"
-        )
-    improved = DetailedImprover(region, max_passes=improver_passes).improve(
-        legal.placement
-    )
-    result = improved.placement
-    if use_domino:
-        result = DominoImprover(region, obstacles=obstacles).improve(result).placement
-    return result
+    with telemetry.span("legalize") as leg_span:
+        with telemetry.span("snap"):
+            if legalizer == "abacus":
+                legal = AbacusLegalizer(region, obstacles=obstacles).legalize(
+                    placement
+                )
+            elif legalizer == "tetris":
+                legal = TetrisLegalizer(region, obstacles=obstacles).legalize(
+                    placement
+                )
+            else:
+                raise ValueError(f"unknown legalizer {legalizer!r}")
+        if not legal.success:
+            raise RuntimeError(
+                f"legalization failed for {len(legal.failed_cells)} cells"
+            )
+        with telemetry.span("improve"):
+            improved = DetailedImprover(
+                region, max_passes=improver_passes
+            ).improve(legal.placement)
+            result = improved.placement
+        if use_domino:
+            with telemetry.span("domino"):
+                result = DominoImprover(
+                    region, obstacles=obstacles
+                ).improve(result).placement
+        leg_span.add("cells", len(legal.placement.x))
+        return result
 
 
 __all__ = [

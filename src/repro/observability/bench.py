@@ -1,0 +1,189 @@
+"""The ``repro bench`` regression harness.
+
+Runs the generator circuits through the full place + legalize flow under a
+real telemetry recorder and emits a machine-readable report
+(``BENCH_kraftwerk.json`` by default) containing:
+
+- the per-phase wall-clock breakdown (density, poisson, solve, hold,
+  assemble, sample, legalize, …) from the span totals,
+- final HPWL (global and legalized) and iteration count,
+- a determinism check: the run is repeated with the same seed under the
+  no-op recorder and must produce a bit-identical placement (compared by
+  SHA-256 over the raw coordinate bytes),
+- the telemetry overhead estimate that falls out of the repeat run for
+  free (instrumented wall-clock vs. no-op wall-clock).
+
+Future PRs regress against the committed ``BENCH_*.json``: a phase that
+suddenly dominates, an iteration count that doubles, or a determinism hash
+that drifts without an intentional algorithm change is a regression.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..core import KraftwerkPlacer, PlacerConfig
+from ..evaluation import hpwl_meters
+from ..legalize import final_placement
+from ..netlist import GeneratorSpec, Placement, generate_circuit
+from . import Telemetry
+
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Generator parameters per bench size (kept aligned with the test
+#: fixtures so the bench exercises the same circuits CI already covers).
+BENCH_SIZES: Dict[str, Dict[str, int]] = {
+    "tiny": {"num_cells": 60, "num_rows": 4},
+    "small": {"num_cells": 300, "num_rows": 8},
+    "medium": {"num_cells": 1200, "num_rows": 16},
+}
+
+#: Phase names the report always carries, even when a phase recorded no
+#: time (e.g. ``solve`` without ``hold`` in accumulate mode).
+REPORT_PHASES = (
+    "density",
+    "poisson",
+    "sample",
+    "assemble",
+    "hold",
+    "solve",
+    "stats",
+    "legalize",
+)
+
+
+def placement_hash(placement: Placement) -> str:
+    """SHA-256 over the raw float64 coordinate bytes — bit-exact identity."""
+    digest = hashlib.sha256()
+    digest.update(placement.x.astype("<f8", copy=False).tobytes())
+    digest.update(placement.y.astype("<f8", copy=False).tobytes())
+    return digest.hexdigest()
+
+
+def run_bench(
+    size: str = "tiny",
+    seed: int = 0,
+    legalize: bool = True,
+    trace_path: Optional[Union[str, Path]] = None,
+) -> Dict[str, Any]:
+    """Benchmark one generator circuit; returns the report dict.
+
+    The circuit is placed twice with the same seed: once instrumented,
+    once under the no-op recorder.  The second run powers both the
+    determinism check and the telemetry-overhead estimate.
+    """
+    if size not in BENCH_SIZES:
+        raise ValueError(
+            f"unknown bench size {size!r}; choose from {sorted(BENCH_SIZES)}"
+        )
+    spec = GeneratorSpec(name=size, seed=seed, **BENCH_SIZES[size])
+    circuit = generate_circuit(spec)
+    netlist, region = circuit.netlist, circuit.region
+    config = PlacerConfig(seed=seed)
+
+    telemetry = Telemetry()
+    t0 = time.perf_counter()
+    result = KraftwerkPlacer(netlist, region, config, telemetry=telemetry).place()
+    instrumented_s = time.perf_counter() - t0
+    global_hash = placement_hash(result.placement)
+    global_hpwl = result.hpwl_m
+
+    final = result.placement
+    if legalize:
+        final = final_placement(result.placement, region, telemetry=telemetry)
+
+    t1 = time.perf_counter()
+    repeat = KraftwerkPlacer(netlist, region, PlacerConfig(seed=seed)).place()
+    noop_s = time.perf_counter() - t1
+    repeat_hash = placement_hash(repeat.placement)
+
+    totals = telemetry.spans.totals()
+    phases = {
+        name: round(totals.get(name, {}).get("seconds", 0.0), 6)
+        for name in REPORT_PHASES
+    }
+    cg_iterations = int(sum(s.cg_iterations for s in result.history))
+
+    if trace_path is not None:
+        telemetry.write_trace(trace_path)
+
+    return {
+        "size": size,
+        "circuit": {
+            "name": netlist.name,
+            "movable_cells": int(netlist.num_movable),
+            "fixed_cells": int(netlist.num_fixed),
+            "nets": int(netlist.num_nets),
+        },
+        "seed": seed,
+        "iterations": result.iterations,
+        "converged": result.converged,
+        "hpwl_m": global_hpwl,
+        "final_hpwl_m": hpwl_meters(final),
+        "legalized": legalize,
+        "cg_iterations": cg_iterations,
+        "phases": phases,
+        "wall_seconds": {
+            "instrumented": round(instrumented_s, 6),
+            "noop": round(noop_s, 6),
+            # > 0 means the instrumented run was slower; noisy on small
+            # circuits, recorded for trend-watching rather than gating.
+            "overhead_fraction": round(
+                (instrumented_s - noop_s) / noop_s if noop_s > 0 else 0.0, 4
+            ),
+        },
+        "determinism": {
+            "hash": global_hash,
+            "repeat_hash": repeat_hash,
+            "deterministic": global_hash == repeat_hash,
+        },
+    }
+
+
+def write_bench_report(
+    sizes: List[str],
+    out_path: Union[str, Path] = "BENCH_kraftwerk.json",
+    seed: int = 0,
+    legalize: bool = True,
+    trace_path: Optional[Union[str, Path]] = None,
+) -> Dict[str, Any]:
+    """Run the bench over ``sizes`` and write the JSON report.
+
+    The first size's key fields (phases, HPWL, iteration count,
+    determinism hash) are mirrored at the top level so simple consumers
+    need not dig into ``runs``.
+    """
+    runs = [
+        run_bench(
+            size,
+            seed=seed,
+            legalize=legalize,
+            trace_path=trace_path if size == sizes[0] else None,
+        )
+        for size in sizes
+    ]
+    primary = runs[0]
+    report: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "sizes": list(sizes),
+        "phases": primary["phases"],
+        "hpwl_m": primary["hpwl_m"],
+        "final_hpwl_m": primary["final_hpwl_m"],
+        "iterations": primary["iterations"],
+        "cg_iterations": primary["cg_iterations"],
+        "determinism_hash": primary["determinism"]["hash"],
+        "deterministic": all(r["determinism"]["deterministic"] for r in runs),
+        "runs": runs,
+    }
+    out_path = Path(out_path)
+    if out_path.parent != Path(""):
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return report

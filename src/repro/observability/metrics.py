@@ -1,0 +1,73 @@
+"""Per-iteration metric streams.
+
+A :class:`MetricStream` is an append-only sequence of keyed rows — one row
+per placement transformation, one stream per logical signal group.  The
+placer records HPWL, density overflow, maximum force norm, CG iterations
+and per-phase seconds into the ``"iterations"`` stream; other flows are
+free to open their own streams (``"legalize"``, ``"timing"``, …).
+
+Rows are plain dicts so they serialize to JSONL without ceremony
+(:mod:`repro.observability.trace`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class MetricStream:
+    """Append-only stream of per-iteration metric rows."""
+
+    enabled = True
+
+    def __init__(self, name: str):
+        self.name = name
+        self.rows: List[Dict[str, Any]] = []
+
+    def record(self, **metrics: Any) -> None:
+        """Append one row.  Keys are metric names, values scalars."""
+        self.rows.append(dict(metrics))
+
+    def series(self, key: str) -> List[Any]:
+        """All values of one metric, in record order (missing rows skipped)."""
+        return [row[key] for row in self.rows if key in row]
+
+    @property
+    def last(self) -> Optional[Dict[str, Any]]:
+        return self.rows[-1] if self.rows else None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricStream({self.name!r}, {len(self.rows)} rows)"
+
+
+class NullMetricStream:
+    """Stream-shaped no-op returned by the null telemetry."""
+
+    enabled = False
+    name = ""
+    rows: List[Dict[str, Any]] = []
+
+    def record(self, **metrics: Any) -> None:
+        pass
+
+    def series(self, key: str) -> List[Any]:
+        return []
+
+    @property
+    def last(self) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self):
+        return iter(())
+
+
+NULL_STREAM = NullMetricStream()

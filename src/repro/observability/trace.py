@@ -1,0 +1,106 @@
+"""Trace export: JSONL event streams and JSON summaries.
+
+Two output forms, both plain text so they diff and grep well:
+
+* **JSONL trace** — one event per line.  Span events carry name, depth,
+  start offset, duration and counters; metric events carry the stream name
+  and the row.  This is the raw material for flame-graph style analysis.
+* **JSON summary** — aggregate seconds/counts per span name plus the final
+  row and row count of every metric stream.  This is what lands inside
+  ``BENCH_*.json`` and :class:`~repro.core.placer.PlacementResult`.
+
+The reader (:func:`read_trace_jsonl`) round-trips the writer's output and
+is what the tests rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+PathLike = Union[str, Path]
+
+TRACE_SCHEMA = "repro-trace/1"
+
+
+def span_events(recorder) -> List[Dict[str, Any]]:
+    """Flatten a recorder's span forest to serializable event dicts.
+
+    Timestamps (``ts``) are offsets from the earliest recorded span start,
+    so traces are comparable across runs regardless of clock origin.
+    """
+    roots = getattr(recorder, "roots", [])
+    if not roots:
+        return []
+    origin = min(span.start for span in roots)
+    events = []
+    for depth, span in recorder.walk():
+        event: Dict[str, Any] = {
+            "type": "span",
+            "name": span.name,
+            "depth": depth,
+            "ts": span.start - origin,
+            "dur": span.seconds,
+        }
+        if span.counters:
+            event["counters"] = dict(span.counters)
+        events.append(event)
+    return events
+
+
+def metric_events(streams) -> List[Dict[str, Any]]:
+    """Flatten metric streams to serializable event dicts."""
+    events = []
+    for stream in streams:
+        for row in stream.rows:
+            events.append({"type": "metric", "stream": stream.name, "row": row})
+    return events
+
+
+def write_trace_jsonl(path: PathLike, telemetry) -> Path:
+    """Write the full trace (header + span + metric events) as JSONL."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    events: List[Dict[str, Any]] = [{"type": "header", "schema": TRACE_SCHEMA}]
+    events.extend(span_events(telemetry.spans))
+    events.extend(metric_events(telemetry.streams()))
+    with path.open("w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event, sort_keys=True) + "\n")
+    return path
+
+
+def read_trace_jsonl(path: PathLike) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace back to its event dicts (blank lines skipped)."""
+    events = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def telemetry_summary(telemetry) -> Dict[str, Any]:
+    """Aggregate summary dict: per-span totals + per-stream tails."""
+    summary: Dict[str, Any] = {
+        "schema": TRACE_SCHEMA,
+        "spans": telemetry.spans.totals(),
+    }
+    streams = {}
+    for stream in telemetry.streams():
+        streams[stream.name] = {"rows": len(stream), "last": stream.last}
+    summary["streams"] = streams
+    return summary
+
+
+def write_summary_json(path: PathLike, telemetry) -> Path:
+    """Write the aggregate summary (:func:`telemetry_summary`) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(telemetry_summary(telemetry), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path

@@ -1,0 +1,88 @@
+"""Tests for the ``repro bench`` regression harness and CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.observability.bench import (
+    BENCH_SCHEMA,
+    BENCH_SIZES,
+    REPORT_PHASES,
+    run_bench,
+    write_bench_report,
+)
+
+pytestmark = pytest.mark.bench
+
+
+class TestRunBench:
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench size"):
+            run_bench("galactic")
+
+    def test_tiny_report_shape(self):
+        report = run_bench("tiny", seed=3)
+        assert report["size"] == "tiny"
+        assert report["iterations"] >= 1
+        assert report["hpwl_m"] > 0
+        assert report["final_hpwl_m"] > 0
+        assert report["cg_iterations"] > 0
+        assert set(report["phases"]) == set(REPORT_PHASES)
+        for phase in ("density", "poisson", "solve", "legalize"):
+            assert report["phases"][phase] > 0.0, f"no time in {phase!r}"
+        det = report["determinism"]
+        assert det["deterministic"]
+        assert det["hash"] == det["repeat_hash"]
+        assert len(det["hash"]) == 64  # sha256 hex
+
+
+class TestBenchCLI:
+    def test_cli_writes_valid_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_kraftwerk.json"
+        trace = tmp_path / "bench.trace.jsonl"
+        rc = main([
+            "bench", "--size", "tiny", "--out", str(out),
+            "--trace", str(trace),
+        ])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "determinism ok" in stdout
+
+        report = json.loads(out.read_text())
+        assert report["schema"] == BENCH_SCHEMA
+        assert report["sizes"] == ["tiny"]
+        assert report["deterministic"] is True
+        assert report["iterations"] >= 1
+        assert report["hpwl_m"] > 0
+        assert isinstance(report["determinism_hash"], str)
+        # Top-level phases mirror the primary run.
+        assert report["phases"] == report["runs"][0]["phases"]
+        for phase in ("density", "poisson", "solve", "legalize"):
+            assert report["phases"][phase] > 0.0
+        # Trace written alongside, with a valid header line.
+        first = json.loads(trace.read_text().splitlines()[0])
+        assert first["type"] == "header"
+
+    def test_cli_no_legalize(self, tmp_path):
+        out = tmp_path / "bench.json"
+        rc = main(["bench", "--size", "tiny", "--no-legalize",
+                   "--out", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["runs"][0]["legalized"] is False
+        assert report["phases"]["legalize"] == 0.0
+
+    def test_write_bench_report_multi_size_keys(self, tmp_path):
+        # Only exercise the tiny size twice to keep CI fast; the size
+        # plumbing is identical for small/medium.
+        report = write_bench_report(
+            ["tiny"], out_path=tmp_path / "b.json", seed=1
+        )
+        assert (tmp_path / "b.json").exists()
+        assert [r["size"] for r in report["runs"]] == ["tiny"]
+
+    def test_bench_sizes_cover_cli_choices(self):
+        assert {"tiny", "small", "medium"} == set(BENCH_SIZES)

@@ -1,0 +1,42 @@
+"""Determinism regression: same seed → bit-identical placement.
+
+The bench harness's regression story rests on this: if two runs with the
+same seed diverge, phase timings and HPWL trajectories are no longer
+comparable across commits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import KraftwerkPlacer, PlacerConfig
+from repro.observability.bench import placement_hash
+
+
+def _place(circuit, seed=0, **cfg):
+    placer = KraftwerkPlacer(
+        circuit.netlist, circuit.region, PlacerConfig(seed=seed, **cfg)
+    )
+    return placer.place()
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self, tiny_circuit):
+        a = _place(tiny_circuit, seed=42)
+        b = _place(tiny_circuit, seed=42)
+        assert a.iterations == b.iterations
+        assert np.array_equal(a.placement.x, b.placement.x)
+        assert np.array_equal(a.placement.y, b.placement.y)
+        assert placement_hash(a.placement) == placement_hash(b.placement)
+
+    def test_different_seed_differs(self, tiny_circuit):
+        a = _place(tiny_circuit, seed=1)
+        b = _place(tiny_circuit, seed=2)
+        assert placement_hash(a.placement) != placement_hash(b.placement)
+
+    def test_hash_is_coordinate_sensitive(self, tiny_circuit):
+        result = _place(tiny_circuit)
+        before = placement_hash(result.placement)
+        moved = result.placement.copy()
+        moved.x[moved.x.size // 2] += 1e-9
+        assert placement_hash(moved) != before

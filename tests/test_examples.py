@@ -1,5 +1,6 @@
 """Smoke tests: every example script runs end to end at tiny scale."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,6 +8,7 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
+SRC = Path(__file__).parent.parent / "src"
 
 CASES = [
     ("quickstart.py", ["fract", "0.5"], "final placement"),
@@ -20,6 +22,17 @@ CASES = [
 ]
 
 
+def _example_env() -> dict:
+    """Subprocess environment with ``src`` on PYTHONPATH so the examples
+    can ``import repro`` without an installed package."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(SRC) if not existing else str(SRC) + os.pathsep + existing
+    )
+    return env
+
+
 @pytest.mark.parametrize(
     "script,args,expected", CASES, ids=[c[0] for c in CASES]
 )
@@ -30,6 +43,7 @@ def test_example_runs(script, args, expected, tmp_path):
         text=True,
         timeout=300,
         cwd=tmp_path,  # examples that write ./out/ stay out of the repo
+        env=_example_env(),
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert expected in result.stdout

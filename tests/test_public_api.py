@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.eco",
     "repro.floorplan",
     "repro.viz",
+    "repro.observability",
 ]
 
 
