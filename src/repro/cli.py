@@ -18,7 +18,7 @@ Examples::
         --placement out/primary1.placement
     python -m repro convert --netlist out/primary1.netlist \
         --placement out/primary1.placement --bookshelf out/primary1
-    python -m repro bench --size tiny
+    python -m repro bench --sizes tiny,small
 """
 
 from __future__ import annotations
@@ -174,9 +174,16 @@ def cmd_route(args) -> int:
 
 def cmd_bench(args) -> int:
     # Imported lazily: bench pulls in the whole placer stack.
-    from .observability.bench import BENCH_SIZES, write_bench_report
+    from .observability.bench import resolve_sizes, write_bench_report
 
-    sizes = list(BENCH_SIZES) if args.size == "all" else [args.size]
+    # --sizes (comma list or "all") wins; legacy --size selects one size;
+    # with neither, the full tiny/small/medium sweep runs.
+    spec = args.sizes if args.sizes is not None else args.size
+    try:
+        sizes = resolve_sizes(spec)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     report = write_bench_report(
         sizes,
         out_path=args.out,
@@ -255,9 +262,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench", help="run the telemetry/regression bench suite"
     )
-    p_bench.add_argument("--size", default="tiny",
+    p_bench.add_argument("--sizes", default=None,
+                         help="comma-separated sizes or 'all' "
+                              "(default: all of tiny,small,medium)")
+    p_bench.add_argument("--size", default=None,
                          choices=["tiny", "small", "medium", "all"],
-                         help="generator circuit size (default tiny)")
+                         help="single size (legacy alias for --sizes)")
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--out", default="BENCH_kraftwerk.json",
                          help="report path (default BENCH_kraftwerk.json)")

@@ -12,17 +12,25 @@ from .placer import (
 )
 from .poisson import (
     ForceField,
+    PoissonSolver,
     bilinear_sample,
     compute_force_field,
     curl,
     divergence,
     force_field_direct,
     force_field_fft,
+    solver_for_grid,
 )
 from .b2b import B2BSystem
 from .multilevel import MultilevelPlacer, MultilevelResult
 from .quadratic import AssembledSystem, QuadraticSystem
-from .solver import SolveResult, conjugate_gradient, solve_kkt, solve_spd
+from .solver import (
+    ShiftedOperator,
+    SolveResult,
+    conjugate_gradient,
+    solve_kkt,
+    solve_spd,
+)
 
 __all__ = [
     "PlacerConfig",
@@ -40,6 +48,8 @@ __all__ = [
     "PlacementResult",
     "place_circuit",
     "ForceField",
+    "PoissonSolver",
+    "solver_for_grid",
     "bilinear_sample",
     "compute_force_field",
     "curl",
@@ -51,6 +61,7 @@ __all__ = [
     "MultilevelPlacer",
     "MultilevelResult",
     "QuadraticSystem",
+    "ShiftedOperator",
     "SolveResult",
     "conjugate_gradient",
     "solve_kkt",

@@ -17,7 +17,7 @@ from ..geometry import PlacementRegion
 from ..netlist import Netlist, Placement
 from ..observability import NULL_TELEMETRY
 from .density import DensityModel, DensityResult
-from .poisson import ForceField, compute_force_field
+from .poisson import ForceField, compute_force_field, solver_for_grid
 
 
 @dataclass
@@ -57,6 +57,11 @@ class ForceCalculator:
         self.density_model = density_model or DensityModel(
             netlist, region, bins=bins, max_bins=max_bins
         )
+        # One spectral solver per calculator: the grid is fixed, so the
+        # kernel FFTs are computed exactly once for the placer's lifetime.
+        self.poisson_solver = (
+            solver_for_grid(self.density_model.grid) if method == "fft" else None
+        )
 
     def reference_force(self, K: float) -> float:
         """The force of a net of length ``K (W + H)`` (unit spring constant)."""
@@ -68,11 +73,13 @@ class ForceCalculator:
         K: float,
         extra_demand: Optional[np.ndarray] = None,
         stiffness: Optional[np.ndarray] = None,
+        demand: Optional[np.ndarray] = None,
     ) -> CellForces:
         """Scaled forces at every movable cell for the current placement.
 
         ``extra_demand`` lets congestion / heat maps act as additional area
-        demand (Section 5).
+        demand (Section 5).  ``demand`` is an optional precomputed demand
+        map for this exact placement (see :meth:`DensityModel.compute`).
 
         ``stiffness`` is the per-movable-cell diagonal of the current system
         matrix.  The paper scales the field so the strongest force equals the
@@ -84,10 +91,12 @@ class ForceCalculator:
         """
         telemetry = self.telemetry
         density = self.density_model.compute(
-            placement, extra_demand=extra_demand, telemetry=telemetry
+            placement, extra_demand=extra_demand, telemetry=telemetry,
+            demand=demand,
         )
         field = compute_force_field(
-            density, method=self.method, telemetry=telemetry
+            density, method=self.method, telemetry=telemetry,
+            solver=self.poisson_solver,
         )
         movable = self.netlist.movable_indices
         with telemetry.span("sample"):

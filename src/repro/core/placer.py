@@ -24,7 +24,6 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..evaluation.wirelength import hpwl_meters
 from ..geometry import PlacementRegion, largest_empty_square_side
@@ -117,6 +116,12 @@ class KraftwerkPlacer:
             else 1.0
         )
         self._gamma = max(1e-6, mean_width, 0.01 * min(region.width, region.height))
+        # Hot-loop reuse state (reset at the start of every place() call):
+        # previous hold-step responses for CG warm starts, and the demand
+        # map computed by the convergence statistics, which doubles as the
+        # next transformation's density input.
+        self._warm: Dict[str, np.ndarray] = {}
+        self._demand_cache: Optional[Tuple[Placement, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -164,6 +169,8 @@ class KraftwerkPlacer:
 
         anchor = self._anchor_weight()
         center = self.region.bounds.center
+        self._warm = {}
+        self._demand_cache = None
         history: List[IterationStats] = []
         converged = False
         tel = self.telemetry
@@ -187,8 +194,19 @@ class KraftwerkPlacer:
                         stiffness = np.asarray(system.Ax.diagonal())[
                             : self.system.n_movable
                         ]
+                    # The statistics phase of the previous transformation
+                    # already rasterized this exact placement object; the
+                    # raw demand map is independent of extra_demand, which
+                    # DensityModel.compute folds in afterwards.
+                    cached_demand = None
+                    if (
+                        self._demand_cache is not None
+                        and self._demand_cache[0] is placement
+                    ):
+                        cached_demand = self._demand_cache[1]
                     forces = self.force_calc.compute(
-                        placement, K=cfg.K, extra_demand=extra, stiffness=stiffness
+                        placement, K=cfg.K, extra_demand=extra,
+                        stiffness=stiffness, demand=cached_demand,
                     )
                     if cfg.force_mode == "accumulate":
                         e_x += forces.fx
@@ -319,28 +337,46 @@ class KraftwerkPlacer:
         tel = self.telemetry
         fx, fy = self.system.forces_to_vars(e_x, e_y)
         x0, y0 = self.system.vars_from_placement(placement)
+        tol = self._cg_tolerance(unevenness)
         if cfg.force_mode == "hold":
             # _hold_step opens its own "hold" (kick response) and "solve"
             # (wire-length re-optimization) spans, so both phases show up
             # side by side in the iteration breakdown.
             new_x, new_y, cg_iters = self._hold_step(
-                system, x0, y0, fx, fy, unevenness, anchor
+                system, x0, y0, fx, fy, unevenness, anchor, tol
             )
         else:
             with tel.span("solve"):
                 rx = conjugate_gradient(
                     system.Ax, system.bx + fx, x0=x0,
-                    tol=cfg.cg_tol, max_iter=cfg.cg_max_iter, telemetry=tel,
+                    tol=tol, max_iter=cfg.cg_max_iter, telemetry=tel,
                 )
                 ry = conjugate_gradient(
                     system.Ay, system.by + fy, x0=y0,
-                    tol=cfg.cg_tol, max_iter=cfg.cg_max_iter, telemetry=tel,
+                    tol=tol, max_iter=cfg.cg_max_iter, telemetry=tel,
                 )
                 new_x, new_y, cg_iters = rx.x, ry.x, rx.iterations + ry.iterations
         new_placement = self.system.placement_from_vars(new_x, new_y, placement)
         if cfg.clamp_to_region:
             new_placement.clamp_to_region(self.region)
         return new_placement, cg_iters
+
+    def _cg_tolerance(self, unevenness: float) -> float:
+        """Adaptive CG tolerance: loose while spreading, tight near the end.
+
+        Early transformations move every cell by a sizable fraction of the
+        chip, so solving their systems to ``cg_tol`` buys nothing; the
+        density kick of the next step dwarfs the residual.  The tolerance
+        interpolates geometrically from ``cg_tol_loose`` (fully uneven
+        density, the start) down to ``cg_tol`` (settled density, where the
+        converged placement must be resolved exactly).
+        """
+        cfg = self.config
+        loose = cfg.cg_tol_loose
+        if loose is None or loose <= cfg.cg_tol:
+            return cfg.cg_tol
+        t = min(1.0, max(0.0, unevenness))
+        return float(cfg.cg_tol * (loose / cfg.cg_tol) ** t)
 
     def _hold_step(
         self,
@@ -351,6 +387,7 @@ class KraftwerkPlacer:
         fy: np.ndarray,
         unevenness: float,
         anchor: float = 0.0,
+        tol: Optional[float] = None,
     ) -> Tuple[np.ndarray, np.ndarray, int]:
         """One transformation in hold mode.
 
@@ -364,6 +401,8 @@ class KraftwerkPlacer:
         """
         cfg = self.config
         tel = self.telemetry
+        if tol is None:
+            tol = cfg.cg_tol
         cg_iters = 0
         with tel.span("hold"):
             # Displacement response to the kick alone.  Each cell is
@@ -374,17 +413,26 @@ class KraftwerkPlacer:
             # rescaled step degenerates to zero.  The tether localizes the
             # response, exactly like the fixed-point move springs of
             # follow-up force-directed placers.
-            mu = cfg.response_tether * float(system.Ax.diagonal().mean())
-            Ax_reg = system.Ax + mu * sp.identity(system.Ax.shape[0], format="csr")
-            Ay_reg = system.Ay + mu * sp.identity(system.Ay.shape[0], format="csr")
+            #
+            # The shifted systems reuse the assembled matrices' sparsity
+            # pattern (shifted_x/shifted_y rewrite one shared buffer per
+            # axis), so each axis is solved before the next shift of that
+            # axis is requested.  The solves warm-start from the previous
+            # transformation's response: the density field changes slowly
+            # between steps, so the old response is an excellent initial
+            # iterate.
+            diag_mean = float(system.Ax.diagonal().mean())
+            mu = cfg.response_tether * diag_mean
             ru = conjugate_gradient(
-                Ax_reg, fx, x0=None, tol=cfg.cg_tol, max_iter=cfg.cg_max_iter,
-                telemetry=tel,
+                system.shifted_x(mu), fx, x0=self._warm.get("response_x"),
+                tol=tol, max_iter=cfg.cg_max_iter, telemetry=tel,
             )
             rv = conjugate_gradient(
-                Ay_reg, fy, x0=None, tol=cfg.cg_tol, max_iter=cfg.cg_max_iter,
-                telemetry=tel,
+                system.shifted_y(mu), fy, x0=self._warm.get("response_y"),
+                tol=tol, max_iter=cfg.cg_max_iter, telemetry=tel,
             )
+            self._warm["response_x"] = ru.x
+            self._warm["response_y"] = rv.x
             cg_iters += ru.iterations + rv.iterations
             step = np.hypot(ru.x, rv.x)
             max_step = float(step.max()) if step.size else 0.0
@@ -413,20 +461,15 @@ class KraftwerkPlacer:
         # netless) systems the anchor is the whole diagonal, and a weaker
         # pin would let it pull every step most of the way back to center.
         with tel.span("solve"):
-            pin = (
-                cfg.spread_pin * (cfg.K / STANDARD_K)
-                * float(system.Ax.diagonal().mean())
-            )
+            pin = cfg.spread_pin * (cfg.K / STANDARD_K) * diag_mean
             pin = max(pin, 10.0 * anchor)
-            Ax_pin = system.Ax + pin * sp.identity(system.Ax.shape[0], format="csr")
-            Ay_pin = system.Ay + pin * sp.identity(system.Ay.shape[0], format="csr")
             rx = conjugate_gradient(
-                Ax_pin, system.bx + pin * spread_x, x0=spread_x,
-                tol=cfg.cg_tol, max_iter=cfg.cg_max_iter, telemetry=tel,
+                system.shifted_x(pin), system.bx + pin * spread_x, x0=spread_x,
+                tol=tol, max_iter=cfg.cg_max_iter, telemetry=tel,
             )
             ry = conjugate_gradient(
-                Ay_pin, system.by + pin * spread_y, x0=spread_y,
-                tol=cfg.cg_tol, max_iter=cfg.cg_max_iter, telemetry=tel,
+                system.shifted_y(pin), system.by + pin * spread_y, x0=spread_y,
+                tol=tol, max_iter=cfg.cg_max_iter, telemetry=tel,
             )
             cg_iters += rx.iterations + ry.iterations
             return rx.x, ry.x, cg_iters
@@ -447,14 +490,19 @@ class KraftwerkPlacer:
         area over average cell area); the second measures remaining pile-ups
         (demand above 100 % bin capacity over total movable area).
         """
-        density = self.force_calc.density_model.compute(placement)
-        grid = density.grid
+        model = self.force_calc.density_model
+        demand = model.demand_map(placement)
+        # Both statistics depend only on the raw demand map, which is also
+        # exactly what the next transformation's density phase needs for
+        # this placement — cache it instead of rasterizing twice.
+        self._demand_cache = (placement, demand)
+        grid = model.grid
         side = largest_empty_square_side(
-            density.demand, min(grid.dx, grid.dy), tol_area=1e-9 * grid.bin_area
+            demand, min(grid.dx, grid.dy), tol_area=1e-9 * grid.bin_area
         )
         ratio = side * side / self.netlist.average_movable_area()
         overflow = float(
-            np.maximum(density.demand - grid.bin_area, 0.0).sum()
+            np.maximum(demand - grid.bin_area, 0.0).sum()
         ) / max(self.netlist.movable_area(), 1e-12)
         return ratio, overflow
 

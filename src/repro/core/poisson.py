@@ -9,8 +9,11 @@ On the density grid this integral becomes a discrete convolution of the bin
 masses ``D`` with the kernel ``g(v) = v / |v|²`` (zero at the origin).  Two
 evaluators are provided:
 
-* :func:`force_field_fft` — zero-padded FFT convolution, O(N log N); the
-  production path.
+* :class:`PoissonSolver` — cached spectral kernels, O(N log N); the
+  production path.  The kernel depends only on the grid geometry, so its
+  forward transforms are computed once per grid and every field evaluation
+  is one forward FFT + two pointwise multiplies + two inverse FFTs.
+* :func:`force_field_fft` — convenience wrapper over a small solver cache.
 * :func:`force_field_direct` — literal double sum, O(N²); the reference the
   FFT path is tested against.
 
@@ -20,11 +23,12 @@ strongest per-cell force matches ``K (W + H)`` (Section 4.1).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np
-from scipy.signal import fftconvolve
+from scipy import fft as _fft
 
 from ..geometry import Grid
 from ..observability import NULL_TELEMETRY
@@ -64,14 +68,82 @@ class ForceField:
         return float(np.sqrt(self.fx * self.fx + self.fy * self.fy).max())
 
 
+class PoissonSolver:
+    """Spectral evaluator of Eq. 9 with precomputed kernel transforms.
+
+    The convolution kernels ``g(v) = v / |v|²`` sampled at all bin-center
+    offsets are position-independent: they depend only on the grid's bin
+    counts and bin sizes.  Transforming them is the expensive half of the
+    FFT convolution, so this solver does it once in the constructor; each
+    :meth:`field` call then costs one forward transform of the density and
+    two pointwise-multiply + inverse-transform passes.
+    """
+
+    def __init__(self, grid: Grid):
+        self.grid = grid
+        gx, gy = _kernel_grids(grid)
+        ny, nx = grid.shape
+        # Linear (zero-padded) convolution size, rounded up to FFT-friendly
+        # lengths; the pad beyond the exact size only grows the zero region.
+        full = (ny + gx.shape[0] - 1, nx + gx.shape[1] - 1)
+        self._fshape = tuple(_fft.next_fast_len(s, real=True) for s in full)
+        self._gx_hat = _fft.rfft2(gx, self._fshape)
+        self._gy_hat = _fft.rfft2(gy, self._fshape)
+        # "same"-mode window of the full convolution: centered, density-sized.
+        self._win = (slice(ny - 1, 2 * ny - 1), slice(nx - 1, 2 * nx - 1))
+
+    def compatible_with(self, grid: Grid) -> bool:
+        """Whether the cached kernels apply to *grid* (same bin geometry)."""
+        g = self.grid
+        return (
+            grid.nx == g.nx and grid.ny == g.ny
+            and grid.dx == g.dx and grid.dy == g.dy
+        )
+
+    def field(self, density: DensityResult) -> ForceField:
+        """The force field of *density* using the cached kernel transforms."""
+        if not self.compatible_with(density.grid):
+            raise ValueError(
+                f"solver built for {self.grid.shape} bins of "
+                f"({self.grid.dx}, {self.grid.dy}) cannot evaluate a "
+                f"{density.grid.shape} grid"
+            )
+        d_hat = _fft.rfft2(density.density, self._fshape)
+        fx = _fft.irfft2(d_hat * self._gx_hat, self._fshape)[self._win]
+        fy = _fft.irfft2(d_hat * self._gy_hat, self._fshape)[self._win]
+        return ForceField(
+            grid=density.grid,
+            fx=np.ascontiguousarray(fx) / _TWO_PI,
+            fy=np.ascontiguousarray(fy) / _TWO_PI,
+        )
+
+
+#: Small keep-alive cache so ad-hoc calls (tests, analysis scripts) also
+#: reuse kernel transforms.  Keyed by the bin geometry the kernels depend
+#: on; bounded so sweeps over many grid resolutions cannot hoard memory.
+_SOLVER_CACHE: "OrderedDict[Tuple[int, int, float, float], PoissonSolver]" = (
+    OrderedDict()
+)
+_SOLVER_CACHE_SIZE = 8
+
+
+def solver_for_grid(grid: Grid) -> PoissonSolver:
+    """A :class:`PoissonSolver` for *grid*, reused across equal geometries."""
+    key = (grid.nx, grid.ny, grid.dx, grid.dy)
+    solver = _SOLVER_CACHE.get(key)
+    if solver is None:
+        solver = PoissonSolver(grid)
+        _SOLVER_CACHE[key] = solver
+        while len(_SOLVER_CACHE) > _SOLVER_CACHE_SIZE:
+            _SOLVER_CACHE.popitem(last=False)
+    else:
+        _SOLVER_CACHE.move_to_end(key)
+    return solver
+
+
 def force_field_fft(density: DensityResult) -> ForceField:
-    """FFT evaluation of Eq. 9 over the whole grid."""
-    grid = density.grid
-    gx, gy = _kernel_grids(grid)
-    d = density.density
-    fx = fftconvolve(d, gx, mode="same") / _TWO_PI
-    fy = fftconvolve(d, gy, mode="same") / _TWO_PI
-    return ForceField(grid=grid, fx=fx, fy=fy)
+    """FFT evaluation of Eq. 9 over the whole grid (cached kernels)."""
+    return solver_for_grid(density.grid).field(density)
 
 
 def force_field_direct(density: DensityResult) -> ForceField:
@@ -104,13 +176,24 @@ def force_field_direct(density: DensityResult) -> ForceField:
 
 
 def compute_force_field(
-    density: DensityResult, method: str = "fft", telemetry=NULL_TELEMETRY
+    density: DensityResult,
+    method: str = "fft",
+    telemetry=NULL_TELEMETRY,
+    solver: "PoissonSolver | None" = None,
 ) -> ForceField:
-    """Dispatch between the FFT and direct evaluators."""
+    """Dispatch between the FFT and direct evaluators.
+
+    Long-lived callers (the placer's :class:`~repro.core.forces.
+    ForceCalculator`) pass their own ``solver`` so kernel transforms live
+    exactly as long as the grid they serve; otherwise the module cache is
+    consulted.
+    """
     with telemetry.span("poisson") as span:
         grid = density.grid
         span.add("bins", grid.nx * grid.ny)
         if method == "fft":
+            if solver is not None:
+                return solver.field(density)
             return force_field_fft(density)
         if method == "direct":
             return force_field_direct(density)

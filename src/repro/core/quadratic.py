@@ -25,20 +25,40 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..netlist import Netlist, Placement
+from .solver import ShiftedOperator
 
 
 @dataclass
 class AssembledSystem:
-    """One placement transformation's linear systems (both axes)."""
+    """One placement transformation's linear systems (both axes).
+
+    ``diag_positions`` (when the builder knows it) locates the stored
+    diagonal inside the matrices' shared CSR data array, letting
+    :meth:`shifted_x` / :meth:`shifted_y` produce ``A + shift·I`` without
+    any structural sparse work.  Each shifted call per axis reuses one
+    buffer, so consume a shifted matrix before requesting the next one for
+    the same axis.
+    """
 
     Ax: sp.csr_matrix
     bx: np.ndarray
     Ay: sp.csr_matrix
     by: np.ndarray
+    diag_positions: Optional[np.ndarray] = None
 
     @property
     def n_vars(self) -> int:
         return self.Ax.shape[0]
+
+    def shifted_x(self, shift: float) -> sp.csr_matrix:
+        if not hasattr(self, "_op_x"):
+            self._op_x = ShiftedOperator(self.Ax, self.diag_positions)
+        return self._op_x.shifted(shift)
+
+    def shifted_y(self, shift: float) -> sp.csr_matrix:
+        if not hasattr(self, "_op_y"):
+            self._op_y = ShiftedOperator(self.Ay, self.diag_positions)
+        return self._op_y.shifted(shift)
 
 
 class QuadraticSystem:
@@ -137,6 +157,45 @@ class QuadraticSystem:
         self.mf_w = np.array(mf_w, dtype=np.float64)
         self.mf_qx = np.array(mf_qx, dtype=np.float64)
         self.mf_qy = np.array(mf_qy, dtype=np.float64)
+        self._build_pattern()
+
+    def _build_pattern(self) -> None:
+        """Precompute the CSR sparsity pattern shared by every assembly.
+
+        The edge structure is placement-independent, so the matrix pattern
+        — including an explicitly stored diagonal for the anchor and for
+        diagonal-shift reuse — never changes between transformations.  We
+        lexsort the COO entry list once and keep the scatter map from entry
+        to unique CSR slot; :meth:`_assemble_axis` then reduces fresh values
+        into the fixed pattern with a single ``bincount``.
+        """
+        n = self.n_vars
+        diag = np.arange(n, dtype=np.int64)
+        rows = np.concatenate(
+            [self.mm_u, self.mm_v, self.mm_u, self.mm_v, self.mf_u, diag]
+        )
+        cols = np.concatenate(
+            [self.mm_u, self.mm_v, self.mm_v, self.mm_u, self.mf_u, diag]
+        )
+        order = np.lexsort((cols, rows))
+        r_sorted = rows[order]
+        c_sorted = cols[order]
+        first = np.ones(r_sorted.size, dtype=bool)
+        first[1:] = (r_sorted[1:] != r_sorted[:-1]) | (c_sorted[1:] != c_sorted[:-1])
+        slot_of_sorted = np.cumsum(first) - 1
+        inv = np.empty(rows.size, dtype=np.int64)
+        inv[order] = slot_of_sorted
+        nnz = int(slot_of_sorted[-1]) + 1 if rows.size else 0
+        idx_dtype = np.int32 if max(nnz, n) < np.iinfo(np.int32).max else np.int64
+        unique_rows = r_sorted[first]
+        self._pat_inv = inv
+        self._pat_nnz = nnz
+        self._pat_indices = c_sorted[first].astype(idx_dtype)
+        counts = np.bincount(unique_rows, minlength=n)
+        self._pat_indptr = np.concatenate(
+            [[0], np.cumsum(counts)]
+        ).astype(idx_dtype)
+        self._pat_diag = np.flatnonzero(self._pat_indices == unique_rows)
 
     def _add_edge(
         self, pin_a, pin_b, net_index, base_w,
@@ -210,7 +269,9 @@ class QuadraticSystem:
             anchor_weight,
             anchor_xy[1],
         )
-        return AssembledSystem(Ax=Ax, bx=bx, Ay=Ay, by=by)
+        return AssembledSystem(
+            Ax=Ax, bx=bx, Ay=Ay, by=by, diag_positions=self._pat_diag
+        )
 
     def _assemble_axis(
         self,
@@ -222,22 +283,25 @@ class QuadraticSystem:
         anchor: float,
     ) -> Tuple[sp.csr_matrix, np.ndarray]:
         n = self.n_vars
-        rows = np.concatenate([self.mm_u, self.mm_v, self.mm_u, self.mm_v, self.mf_u])
-        cols = np.concatenate([self.mm_u, self.mm_v, self.mm_v, self.mm_u, self.mf_u])
-        vals = np.concatenate([w_mm, w_mm, -w_mm, -w_mm, w_mf])
-        A = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
-        if anchor_weight > 0.0:
-            A = A + sp.identity(n, format="csr") * anchor_weight
+        # Entry order must mirror _build_pattern's concatenation; bincount
+        # reduces the duplicate entries into their precomputed CSR slots.
+        vals = np.concatenate(
+            [w_mm, w_mm, -w_mm, -w_mm, w_mf, np.full(n, anchor_weight)]
+        )
+        data = np.bincount(self._pat_inv, weights=vals, minlength=self._pat_nnz)
+        A = sp.csr_matrix(
+            (data, self._pat_indices, self._pat_indptr), shape=(n, n), copy=False
+        )
 
-        b = np.zeros(n)
         # edge cost w (x_u + a_u - x_v - a_v)^2 with off = a_u - a_v:
         #   d/dx_u = 0  =>  row u gains -w*off on the rhs, row v gains +w*off
+        b = np.zeros(n)
         if self.mm_u.size:
-            np.add.at(b, self.mm_u, -w_mm * off_mm)
-            np.add.at(b, self.mm_v, w_mm * off_mm)
+            b += np.bincount(self.mm_u, weights=-w_mm * off_mm, minlength=n)
+            b += np.bincount(self.mm_v, weights=w_mm * off_mm, minlength=n)
         # fixed edge cost w (x_u - q)^2  =>  row u gains +w*q
         if self.mf_u.size:
-            np.add.at(b, self.mf_u, w_mf * q_mf)
+            b += np.bincount(self.mf_u, weights=w_mf * q_mf, minlength=n)
         if anchor_weight > 0.0:
             b += anchor_weight * anchor
         return A, b

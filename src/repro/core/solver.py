@@ -26,6 +26,52 @@ class SolveResult:
     converged: bool
 
 
+class ShiftedOperator:
+    """Reusable ``A + shift·I`` sharing ``A``'s CSR sparsity pattern.
+
+    The placer needs several diagonally shifted copies of each axis matrix
+    per transformation (response tether, spread pin).  Building them as
+    ``A + shift * identity(n)`` runs a full structural sparse add every
+    time; since the placer's matrices carry an explicitly stored diagonal,
+    the shift only ever changes ``n`` existing data entries.  This wrapper
+    locates the stored diagonal once, then produces each shifted matrix
+    with one data copy and one scatter-add into a reused buffer.
+
+    Each :meth:`shifted` call rewrites that shared buffer, so the matrix
+    returned by the previous call is invalidated — use (or copy) one
+    shifted matrix before requesting the next.
+    """
+
+    def __init__(self, A: sp.spmatrix, diag_positions: Optional[np.ndarray] = None):
+        A = A.tocsr()
+        self._A = A
+        n = A.shape[0]
+        if diag_positions is None:
+            rows = np.repeat(np.arange(n), np.diff(A.indptr))
+            diag_positions = np.flatnonzero(A.indices == rows)
+        self._diag = diag_positions
+        #: Whether every row stores a diagonal entry; without that, a shift
+        #: would need structural changes and we fall back to the sparse add.
+        self.has_full_diagonal = self._diag.size == n
+        if self.has_full_diagonal:
+            self._mat = sp.csr_matrix(
+                (A.data.copy(), A.indices, A.indptr), shape=A.shape, copy=False
+            )
+            # The constructor may rewrap its inputs; mutate through the
+            # matrix's own arrays so the shifted values are always visible.
+            self._data = self._mat.data
+
+    def shifted(self, shift: float) -> sp.csr_matrix:
+        """``A + shift·I``; reuses one shared buffer on the fast path."""
+        if not self.has_full_diagonal:
+            n = self._A.shape[0]
+            return (self._A + shift * sp.identity(n, format="csr")).tocsr()
+        np.copyto(self._data, self._A.data)
+        if shift != 0.0:
+            self._data[self._diag] += shift
+        return self._mat
+
+
 def conjugate_gradient(
     A: sp.spmatrix,
     b: np.ndarray,
@@ -92,11 +138,20 @@ def solve_spd(
     x0: Optional[np.ndarray] = None,
     tol: float = 1e-8,
     max_iter: int = 1000,
+    telemetry=NULL_TELEMETRY,
 ) -> np.ndarray:
-    """Solve an SPD system, falling back to a direct solve if CG stalls."""
-    result = conjugate_gradient(A, b, x0=x0, tol=tol, max_iter=max_iter)
+    """Solve an SPD system, falling back to a direct solve if CG stalls.
+
+    ``telemetry`` is threaded through to the internal CG solve so its
+    ``cg_solves`` / ``cg_iterations`` counters land on the caller's open
+    span; the direct fallback additionally bumps ``direct_solves``.
+    """
+    result = conjugate_gradient(
+        A, b, x0=x0, tol=tol, max_iter=max_iter, telemetry=telemetry
+    )
     if result.converged:
         return result.x
+    telemetry.add("direct_solves", 1)
     return spla.spsolve(A.tocsc(), b)
 
 

@@ -8,7 +8,8 @@ provided here, vectorized over the whole netlist.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import weakref
+from typing import Optional
 
 import numpy as np
 
@@ -44,16 +45,20 @@ class NetPinArrays:
         return px, py
 
 
-_PIN_ARRAY_CACHE: Dict[int, NetPinArrays] = {}
+# Weak keys: entries die with their netlist.  An id(netlist)-keyed dict
+# would both leak every entry forever and — worse — serve stale arrays when
+# a freed netlist's address gets reused by a new one.
+_PIN_ARRAY_CACHE: "weakref.WeakKeyDictionary[Netlist, NetPinArrays]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 def pin_arrays(netlist: Netlist) -> NetPinArrays:
     """Cached flattened pin arrays for a netlist."""
-    key = id(netlist)
-    cached = _PIN_ARRAY_CACHE.get(key)
+    cached = _PIN_ARRAY_CACHE.get(netlist)
     if cached is None or cached.net_start.size != netlist.num_nets + 1:
         cached = NetPinArrays(netlist)
-        _PIN_ARRAY_CACHE[key] = cached
+        _PIN_ARRAY_CACHE[netlist] = cached
     return cached
 
 

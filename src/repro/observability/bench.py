@@ -24,7 +24,7 @@ import hashlib
 import json
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..core import KraftwerkPlacer, PlacerConfig
 from ..evaluation import hpwl_meters
@@ -54,6 +54,25 @@ REPORT_PHASES = (
     "stats",
     "legalize",
 )
+
+
+def resolve_sizes(spec: Optional[str]) -> List[str]:
+    """Expand a ``--sizes`` argument into a validated size list.
+
+    ``None`` or ``"all"`` select every known size (tiny/small/medium);
+    otherwise *spec* is a comma-separated subset, e.g. ``"tiny,small"``.
+    """
+    if spec is None or spec == "all":
+        return list(BENCH_SIZES)
+    sizes = [s.strip() for s in spec.split(",") if s.strip()]
+    if not sizes:
+        raise ValueError("no bench sizes given")
+    for size in sizes:
+        if size not in BENCH_SIZES:
+            raise ValueError(
+                f"unknown bench size {size!r}; choose from {sorted(BENCH_SIZES)}"
+            )
+    return sizes
 
 
 def placement_hash(placement: Placement) -> str:
@@ -145,7 +164,7 @@ def run_bench(
 
 
 def write_bench_report(
-    sizes: List[str],
+    sizes: Optional[Sequence[str]] = None,
     out_path: Union[str, Path] = "BENCH_kraftwerk.json",
     seed: int = 0,
     legalize: bool = True,
@@ -153,10 +172,13 @@ def write_bench_report(
 ) -> Dict[str, Any]:
     """Run the bench over ``sizes`` and write the JSON report.
 
-    The first size's key fields (phases, HPWL, iteration count,
-    determinism hash) are mirrored at the top level so simple consumers
-    need not dig into ``runs``.
+    ``sizes`` defaults to every known size (tiny/small/medium) so the
+    committed report always carries the full scaling picture.  The first
+    size's key fields (phases, HPWL, iteration count, determinism hash)
+    are mirrored at the top level so simple consumers need not dig into
+    ``runs``.
     """
+    sizes = list(BENCH_SIZES) if sizes is None else list(sizes)
     runs = [
         run_bench(
             size,

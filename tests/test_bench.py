@@ -11,11 +11,30 @@ from repro.observability.bench import (
     BENCH_SCHEMA,
     BENCH_SIZES,
     REPORT_PHASES,
+    resolve_sizes,
     run_bench,
     write_bench_report,
 )
 
 pytestmark = pytest.mark.bench
+
+
+class TestResolveSizes:
+    def test_default_is_all_sizes(self):
+        assert resolve_sizes(None) == ["tiny", "small", "medium"]
+        assert resolve_sizes("all") == ["tiny", "small", "medium"]
+
+    def test_comma_list(self):
+        assert resolve_sizes("tiny,small") == ["tiny", "small"]
+        assert resolve_sizes(" medium , tiny ") == ["medium", "tiny"]
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench size"):
+            resolve_sizes("tiny,galactic")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="no bench sizes"):
+            resolve_sizes(",,")
 
 
 class TestRunBench:
@@ -86,3 +105,16 @@ class TestBenchCLI:
 
     def test_bench_sizes_cover_cli_choices(self):
         assert {"tiny", "small", "medium"} == set(BENCH_SIZES)
+
+    def test_cli_sizes_flag(self, tmp_path):
+        out = tmp_path / "bench.json"
+        rc = main(["bench", "--sizes", "tiny", "--out", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["sizes"] == ["tiny"]
+
+    def test_cli_rejects_unknown_sizes(self, tmp_path, capsys):
+        rc = main(["bench", "--sizes", "galactic",
+                   "--out", str(tmp_path / "b.json")])
+        assert rc == 2
+        assert "unknown bench size" in capsys.readouterr().err

@@ -4,11 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    PoissonSolver,
     bilinear_sample,
     compute_force_field,
     curl,
     force_field_direct,
     force_field_fft,
+    solver_for_grid,
 )
 from repro.core.density import DensityResult
 from repro.geometry import Grid, Rect
@@ -54,6 +56,72 @@ class TestFftMatchesDirect:
         )
         with pytest.raises(ValueError):
             compute_force_field(d, "bogus")
+
+
+def _random_density(grid: Grid, rng) -> DensityResult:
+    density = rng.normal(size=grid.shape)
+    density -= density.mean()
+    return DensityResult(
+        grid=grid,
+        demand=np.maximum(density, 0.0),
+        supply_rate=0.0,
+        density=density,
+    )
+
+
+class TestPoissonSolver:
+    """The cached-kernel spectral path: correctness, reuse, determinism."""
+
+    # Odd/even/non-square bin counts, square and non-square bins.
+    GRIDS = [
+        Grid(Rect(0, 0, 64, 64), 16, 16),
+        Grid(Rect(0, 0, 51, 39), 17, 13),
+        Grid(Rect(0, 0, 48, 80), 12, 20),
+        Grid(Rect(0, 0, 27, 35), 9, 7),
+        Grid(Rect(0, 0, 10, 50), 1, 5),
+    ]
+
+    @pytest.mark.parametrize("grid", GRIDS, ids=lambda g: f"{g.nx}x{g.ny}")
+    def test_cached_kernels_match_direct(self, grid, rng):
+        solver = PoissonSolver(grid)
+        for _ in range(3):
+            d = _random_density(grid, rng)
+            fft = solver.field(d)
+            direct = force_field_direct(d)
+            assert np.allclose(fft.fx, direct.fx, atol=1e-8)
+            assert np.allclose(fft.fy, direct.fy, atol=1e-8)
+
+    def test_repeat_evaluation_bit_identical(self, grid, rng):
+        d = _random_density(grid, rng)
+        solver = PoissonSolver(grid)
+        a = solver.field(d)
+        b = solver.field(d)
+        assert np.array_equal(a.fx, b.fx)
+        assert np.array_equal(a.fy, b.fy)
+
+    def test_wrapper_uses_cached_solver(self, grid, rng):
+        d = _random_density(grid, rng)
+        solver = solver_for_grid(grid)
+        assert solver_for_grid(grid) is solver
+        via_wrapper = force_field_fft(d)
+        via_solver = solver.field(d)
+        assert np.array_equal(via_wrapper.fx, via_solver.fx)
+        assert np.array_equal(via_wrapper.fy, via_solver.fy)
+
+    def test_equal_geometry_shares_solver(self, grid):
+        clone = Grid(Rect(0, 0, 64, 64), 16, 16)
+        assert solver_for_grid(clone) is solver_for_grid(grid)
+
+    def test_mismatched_grid_rejected(self, grid, rng):
+        other = Grid(Rect(0, 0, 64, 64), 8, 8)
+        with pytest.raises(ValueError, match="cannot evaluate"):
+            PoissonSolver(other).field(_random_density(grid, rng))
+
+    def test_dispatch_prefers_given_solver(self, grid, rng):
+        d = _random_density(grid, rng)
+        solver = PoissonSolver(grid)
+        field = compute_force_field(d, method="fft", solver=solver)
+        assert np.allclose(field.fx, force_field_direct(d).fx, atol=1e-8)
 
 
 class TestFieldLaws:

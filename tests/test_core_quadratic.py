@@ -120,6 +120,63 @@ class TestPlacementConversion:
             QuadraticSystem(four_cell_netlist, clique_threshold=1)
 
 
+class TestPatternReuse:
+    """The cached CSR pattern behind every assemble() call."""
+
+    def test_every_row_stores_diagonal(self, tiny_circuit):
+        qs = QuadraticSystem(tiny_circuit.netlist)
+        system = qs.assemble()
+        assert system.diag_positions is not None
+        assert system.diag_positions.size == system.n_vars
+        for A in (system.Ax, system.Ay):
+            rows = np.repeat(np.arange(A.shape[0]), np.diff(A.indptr))
+            stored_diag = np.flatnonzero(A.indices == rows)
+            assert np.array_equal(stored_diag, system.diag_positions)
+            assert np.allclose(A.data[stored_diag], A.diagonal())
+
+    def test_pattern_stable_across_assemblies(self, tiny_circuit, rng):
+        qs = QuadraticSystem(tiny_circuit.netlist)
+        a = qs.assemble()
+        weights = rng.uniform(0.5, 2.0, size=tiny_circuit.netlist.num_nets)
+        b = qs.assemble(net_weights=weights, anchor_weight=0.01)
+        assert np.array_equal(a.Ax.indices, b.Ax.indices)
+        assert np.array_equal(a.Ax.indptr, b.Ax.indptr)
+        assert np.array_equal(a.diag_positions, b.diag_positions)
+        # Different weights really produce different values on the pattern.
+        assert not np.allclose(a.Ax.data, b.Ax.data)
+
+    def test_weighted_assembly_matches_coo_reference(self, tiny_circuit, rng):
+        nl = tiny_circuit.netlist
+        qs = QuadraticSystem(nl)
+        weights = rng.uniform(0.5, 2.0, size=nl.num_nets)
+        system = qs.assemble(net_weights=weights, anchor_weight=0.02)
+        n = qs.n_vars
+        w_mm = qs.mm_w * weights[qs.mm_net]
+        w_mf = qs.mf_w * weights[qs.mf_net]
+        diag = np.arange(n)
+        rows = np.concatenate([qs.mm_u, qs.mm_v, qs.mm_u, qs.mm_v, qs.mf_u, diag])
+        cols = np.concatenate([qs.mm_u, qs.mm_v, qs.mm_v, qs.mm_u, qs.mf_u, diag])
+        vals = np.concatenate([w_mm, w_mm, -w_mm, -w_mm, w_mf, np.full(n, 0.02)])
+        reference = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).toarray()
+        assert np.allclose(system.Ax.toarray(), reference)
+
+    def test_shifted_matches_sparse_add(self, tiny_circuit):
+        system = QuadraticSystem(tiny_circuit.netlist).assemble()
+        n = system.n_vars
+        for shift in (0.0, 0.3, 2.0):
+            expected = (system.Ax + shift * sp.identity(n, format="csr")).toarray()
+            assert np.allclose(system.shifted_x(shift).toarray(), expected)
+        expected_y = (system.Ay + 0.7 * sp.identity(n, format="csr")).toarray()
+        assert np.allclose(system.shifted_y(0.7).toarray(), expected_y)
+
+    def test_axes_use_independent_buffers(self, tiny_circuit):
+        system = QuadraticSystem(tiny_circuit.netlist).assemble()
+        sx = system.shifted_x(1.0)
+        sy = system.shifted_y(2.0)
+        assert np.allclose(sx.diagonal(), system.Ax.diagonal() + 1.0)
+        assert np.allclose(sy.diagonal(), system.Ay.diagonal() + 2.0)
+
+
 class TestPinOffsets:
     def test_offsets_shift_equilibrium(self):
         b = NetlistBuilder("off")

@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.core import conjugate_gradient, solve_kkt, solve_spd
+from repro.core import ShiftedOperator, conjugate_gradient, solve_kkt, solve_spd
+from repro.observability import Telemetry
 
 
 def _random_spd(n: int, rng: np.random.Generator) -> sp.csr_matrix:
@@ -69,12 +70,77 @@ class TestConjugateGradient:
             conjugate_gradient(A, np.ones(3))
 
 
+class TestShiftedOperator:
+    def test_matches_sparse_add(self, rng):
+        A = _random_spd(40, rng)
+        op = ShiftedOperator(A)
+        assert op.has_full_diagonal
+        for shift in (0.0, 0.5, 3.25):
+            expected = (A + shift * sp.identity(40, format="csr")).toarray()
+            assert np.allclose(op.shifted(shift).toarray(), expected)
+
+    def test_buffer_reuse_overwrites_previous(self, rng):
+        A = _random_spd(20, rng)
+        op = ShiftedOperator(A)
+        first = op.shifted(1.0)
+        second = op.shifted(2.0)
+        # One shared buffer: the earlier handle now shows the newer shift.
+        assert first is second
+        assert np.allclose(first.diagonal(), A.diagonal() + 2.0)
+
+    def test_base_matrix_untouched(self, rng):
+        A = _random_spd(25, rng)
+        before = A.toarray()
+        ShiftedOperator(A).shifted(7.0)
+        assert np.array_equal(A.toarray(), before)
+
+    def test_explicit_diag_positions(self, rng):
+        A = _random_spd(30, rng)
+        rows = np.repeat(np.arange(30), np.diff(A.indptr))
+        positions = np.flatnonzero(A.indices == rows)
+        op = ShiftedOperator(A, diag_positions=positions)
+        expected = (A + 0.75 * sp.identity(30, format="csr")).toarray()
+        assert np.allclose(op.shifted(0.75).toarray(), expected)
+
+    def test_missing_diagonal_falls_back(self):
+        # Row 1 stores no diagonal entry: the fast path cannot apply.
+        A = sp.csr_matrix(
+            (np.array([2.0, 1.0, 1.0, 2.0]),
+             np.array([0, 1, 0, 2]),
+             np.array([0, 2, 3, 4])),
+            shape=(3, 3),
+        )
+        op = ShiftedOperator(A)
+        assert not op.has_full_diagonal
+        expected = (A + 1.5 * sp.identity(3, format="csr")).toarray()
+        assert np.allclose(op.shifted(1.5).toarray(), expected)
+
+
 class TestSolveSpd:
     def test_fallback_path(self, rng):
         A = _random_spd(30, rng)
         b = rng.normal(size=30)
         x = solve_spd(A, b, tol=1e-10, max_iter=1)  # force CG to stall
         assert np.allclose(A @ x, b, atol=1e-6)
+
+    def test_telemetry_counters(self, rng):
+        A = _random_spd(30, rng)
+        b = rng.normal(size=30)
+        telemetry = Telemetry()
+        with telemetry.span("solve"):
+            solve_spd(A, b, tol=1e-10, telemetry=telemetry)
+        totals = telemetry.spans.totals()["solve"]
+        assert totals["cg_solves"] == 1
+        assert totals["cg_iterations"] >= 1
+        assert "direct_solves" not in totals
+
+    def test_telemetry_counts_fallback(self, rng):
+        A = _random_spd(30, rng)
+        b = rng.normal(size=30)
+        telemetry = Telemetry()
+        with telemetry.span("solve"):
+            solve_spd(A, b, tol=1e-12, max_iter=1, telemetry=telemetry)
+        assert telemetry.spans.totals()["solve"]["direct_solves"] == 1
 
 
 class TestSolveKkt:

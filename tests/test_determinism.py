@@ -40,3 +40,14 @@ class TestDeterminism:
         moved = result.placement.copy()
         moved.x[moved.x.size // 2] += 1e-9
         assert placement_hash(moved) != before
+
+    def test_reused_placer_object_bit_identical(self, tiny_circuit):
+        # Warm-start state (CG seeds, demand cache) must reset per place()
+        # call, or the second run would see the first run's leftovers.
+        placer = KraftwerkPlacer(
+            tiny_circuit.netlist, tiny_circuit.region, PlacerConfig(seed=7)
+        )
+        a = placer.place()
+        b = placer.place()
+        assert a.iterations == b.iterations
+        assert placement_hash(a.placement) == placement_hash(b.placement)

@@ -103,3 +103,36 @@ class TestBoundingBoxesAndCache:
         arrays = pin_arrays(four_cell_netlist)
         assert arrays.net_start.tolist() == [0, 2, 4, 6]
         assert arrays.degree.tolist() == [2, 2, 2]
+
+    def test_cache_entry_dies_with_netlist(self):
+        import gc
+
+        from repro import NetlistBuilder
+        from repro.evaluation.wirelength import _PIN_ARRAY_CACHE
+
+        b = NetlistBuilder("ephemeral")
+        b.add_cell("a", 4.0, 4.0)
+        b.add_cell("b", 4.0, 4.0)
+        b.add_net("n", [("a", "output"), ("b", "input")])
+        nl = b.build()
+        pin_arrays(nl)
+        assert nl in _PIN_ARRAY_CACHE
+        before = len(_PIN_ARRAY_CACHE)
+        del nl
+        gc.collect()
+        assert len(_PIN_ARRAY_CACHE) < before
+
+    def test_distinct_netlists_get_distinct_arrays(self):
+        from repro import NetlistBuilder
+
+        def build():
+            b = NetlistBuilder("twin")
+            b.add_cell("a", 4.0, 4.0)
+            b.add_cell("b", 4.0, 4.0)
+            b.add_net("n", [("a", "output"), ("b", "input")])
+            return b.build()
+
+        nl1, nl2 = build(), build()
+        # Identical structure, different objects: no cross-talk.
+        assert pin_arrays(nl1) is not pin_arrays(nl2)
+        assert pin_arrays(nl1) is pin_arrays(nl1)
