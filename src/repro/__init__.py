@@ -49,11 +49,16 @@ from .netlist import (
 )
 from .core import (
     FAST_K,
+    HealthGuard,
     KraftwerkPlacer,
+    NumericalHealthError,
     PlacementResult,
+    PlacerCheckpoint,
     PlacerConfig,
     STANDARD_K,
+    load_checkpoint,
     place_circuit,
+    save_checkpoint,
 )
 from .evaluation import (
     distribution_stats,
@@ -121,11 +126,16 @@ __all__ = [
     "make_mixed_size_circuit",
     "make_suite",
     "FAST_K",
+    "HealthGuard",
     "KraftwerkPlacer",
+    "NumericalHealthError",
     "PlacementResult",
+    "PlacerCheckpoint",
     "PlacerConfig",
     "STANDARD_K",
+    "load_checkpoint",
     "place_circuit",
+    "save_checkpoint",
     "distribution_stats",
     "format_table",
     "hpwl",

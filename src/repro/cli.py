@@ -29,7 +29,13 @@ import time
 from pathlib import Path
 from typing import Optional, Tuple
 
-from .core import FAST_K, KraftwerkPlacer, PlacerConfig, STANDARD_K
+from .core import (
+    FAST_K,
+    KraftwerkPlacer,
+    NumericalHealthError,
+    PlacerConfig,
+    STANDARD_K,
+)
 from .evaluation import distribution_stats, format_table, hpwl_meters, total_overlap
 from .geometry import PlacementRegion
 from .legalize import final_placement
@@ -43,6 +49,7 @@ from .netlist import (
     save_bookshelf,
     save_netlist,
     save_placement,
+    validate_netlist,
 )
 from .timing import StaticTimingAnalyzer
 
@@ -91,17 +98,38 @@ def cmd_stats(args) -> int:
 
 def cmd_place(args) -> int:
     netlist, region = _load_design(args)
+    netlist, report = validate_netlist(netlist, region=region, strict=args.strict)
+    if report.issues:
+        print(f"validation      : {report.summary()}", file=sys.stderr)
     config = PlacerConfig(
         K=FAST_K if args.fast else STANDARD_K,
         net_model=args.net_model,
         verbose=args.verbose,
+        deadline_seconds=args.deadline,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
     )
+    resume_from = None
+    if args.resume:
+        if not args.checkpoint:
+            raise SystemExit("--resume needs --checkpoint PATH")
+        if Path(args.checkpoint).exists():
+            resume_from = args.checkpoint
+        else:
+            print(f"no checkpoint at {args.checkpoint}; starting fresh",
+                  file=sys.stderr)
     t0 = time.perf_counter()
-    result = KraftwerkPlacer(netlist, region, config).place()
+    result = KraftwerkPlacer(netlist, region, config).place(
+        resume_from=resume_from
+    )
     placement = result.placement
+    status = f"converged={result.converged}"
+    if result.timed_out:
+        status += ", deadline hit: returning best placement seen"
+    if result.recovery_escalations:
+        status += f", {result.recovery_escalations} solver recovery escalations"
     print(f"global placement: {result.hpwl_m:.4f} m in {result.iterations} "
-          f"transformations ({time.perf_counter() - t0:.1f}s, "
-          f"converged={result.converged})")
+          f"transformations ({time.perf_counter() - t0:.1f}s, {status})")
     if args.legalize:
         placement = final_placement(placement, region)
         print(f"final placement : {hpwl_meters(placement):.4f} m "
@@ -243,6 +271,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_place.add_argument("--svg", action="store_true",
                          help="also write an SVG rendering (needs --out)")
     p_place.add_argument("--verbose", action="store_true")
+    p_place.add_argument("--strict", action="store_true",
+                         help="reject repairable netlist defects instead of "
+                              "fixing them")
+    p_place.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="wall-clock budget; on expiry the best "
+                              "placement seen so far is returned")
+    p_place.add_argument("--checkpoint", metavar="PATH",
+                         help="periodically snapshot the run state here")
+    p_place.add_argument("--checkpoint-every", type=int, default=10,
+                         metavar="N", help="iterations between snapshots "
+                         "(default 10)")
+    p_place.add_argument("--resume", action="store_true",
+                         help="resume from --checkpoint if it exists")
     p_place.set_defaults(func=cmd_place)
 
     p_timing = sub.add_parser("timing", help="longest-path analysis")
@@ -288,7 +330,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except NumericalHealthError as exc:
+        print(f"error: numerical health check failed: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,138 @@
+"""Checkpoint/recovery for interrupted placement runs.
+
+A placement transformation is a pure function of (positions, accumulated
+forces, warm-start state, iteration index): the placer draws no random
+numbers after initialization, so snapshotting exactly that state lets an
+interrupted run resume **bit-identically** — the resumed trajectory matches
+the uninterrupted one float for float, which the checkpoint test suite
+verifies by SHA-256 over the final coordinates.
+
+The on-disk format is a single ``.npz`` archive (numpy's zip container):
+float64 arrays stored raw, plus one JSON metadata entry carrying the
+iteration counter, per-iteration history (needed by the stall detector),
+and a netlist signature that guards against resuming onto the wrong
+design.  See ``docs/ROBUSTNESS.md`` for the format contract.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+CHECKPOINT_SCHEMA = "repro-checkpoint/1"
+
+PathLike = Union[str, Path]
+
+
+def netlist_signature(netlist) -> str:
+    """A cheap structural fingerprint used to reject mismatched resumes."""
+    return (
+        f"{netlist.name}/{netlist.num_cells}c/{netlist.num_nets}n/"
+        f"{netlist.num_pins}p/{netlist.num_movable}m"
+    )
+
+
+@dataclass
+class PlacerCheckpoint:
+    """Everything the placer needs to continue a run mid-flight.
+
+    ``iteration`` is the index of the *next* transformation to run; the
+    coordinate arrays cover all cells (movable + fixed) in netlist order;
+    ``warm`` holds the hold-step CG warm-start vectors; ``history`` is the
+    list of per-iteration stat dicts accumulated so far (consumed by the
+    stall detector, so it must survive the round trip); ``best`` carries
+    the best-so-far tracker state (score, hpwl, coordinates, forces).
+    """
+
+    iteration: int
+    x: np.ndarray
+    y: np.ndarray
+    e_x: np.ndarray
+    e_y: np.ndarray
+    warm: Dict[str, np.ndarray] = field(default_factory=dict)
+    history: List[Dict] = field(default_factory=list)
+    best: Optional[Dict] = None
+    signature: str = ""
+    elapsed_seconds: float = 0.0
+
+
+def save_checkpoint(path: PathLike, ckpt: PlacerCheckpoint) -> Path:
+    """Write *ckpt* to *path* atomically (write-then-rename)."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "schema": CHECKPOINT_SCHEMA,
+        "iteration": int(ckpt.iteration),
+        "signature": ckpt.signature,
+        "elapsed_seconds": float(ckpt.elapsed_seconds),
+        "history": ckpt.history,
+        "warm_keys": sorted(ckpt.warm),
+        "best": None,
+    }
+    arrays: Dict[str, np.ndarray] = {
+        "x": np.asarray(ckpt.x, dtype=np.float64),
+        "y": np.asarray(ckpt.y, dtype=np.float64),
+        "e_x": np.asarray(ckpt.e_x, dtype=np.float64),
+        "e_y": np.asarray(ckpt.e_y, dtype=np.float64),
+    }
+    for key in meta["warm_keys"]:
+        arrays[f"warm_{key}"] = np.asarray(ckpt.warm[key], dtype=np.float64)
+    if ckpt.best is not None:
+        meta["best"] = {
+            "score": float(ckpt.best["score"]),
+            "hpwl_m": float(ckpt.best["hpwl_m"]),
+        }
+        for key in ("x", "y", "e_x", "e_y"):
+            arrays[f"best_{key}"] = np.asarray(
+                ckpt.best[key], dtype=np.float64
+            )
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as f:
+        np.savez(f, meta=np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        ), **arrays)
+    tmp.replace(path)
+    return path
+
+
+def load_checkpoint(path: PathLike) -> PlacerCheckpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    path = Path(path)
+    with np.load(path) as data:
+        try:
+            meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+        except (KeyError, ValueError) as exc:
+            raise ValueError(f"{path}: not a repro checkpoint") from exc
+        if meta.get("schema") != CHECKPOINT_SCHEMA:
+            raise ValueError(
+                f"{path}: unsupported checkpoint schema "
+                f"{meta.get('schema')!r} (expected {CHECKPOINT_SCHEMA!r})"
+            )
+        warm = {key: data[f"warm_{key}"].copy() for key in meta["warm_keys"]}
+        best = None
+        if meta.get("best") is not None:
+            best = {
+                "score": float(meta["best"]["score"]),
+                "hpwl_m": float(meta["best"]["hpwl_m"]),
+                "x": data["best_x"].copy(),
+                "y": data["best_y"].copy(),
+                "e_x": data["best_e_x"].copy(),
+                "e_y": data["best_e_y"].copy(),
+            }
+        return PlacerCheckpoint(
+            iteration=int(meta["iteration"]),
+            x=data["x"].copy(),
+            y=data["y"].copy(),
+            e_x=data["e_x"].copy(),
+            e_y=data["e_y"].copy(),
+            warm=warm,
+            history=list(meta.get("history", [])),
+            best=best,
+            signature=meta.get("signature", ""),
+            elapsed_seconds=float(meta.get("elapsed_seconds", 0.0)),
+        )

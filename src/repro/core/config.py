@@ -106,6 +106,34 @@ class PlacerConfig:
         (all cells exactly on one point is a degenerate density pattern).
     verbose:
         Print one line per placement transformation.
+    health_checks:
+        Run the :mod:`~repro.core.health` guard each transformation:
+        density/field/force/solution arrays are checked for NaN/Inf and
+        force explosions, raising a structured
+        :class:`~repro.core.health.NumericalHealthError` instead of
+        silently iterating on garbage.  The guard only observes — healthy
+        runs are bit-identical with it on or off.
+    recovery:
+        Enable the CG recovery ladder (tighten tolerance → discard warm
+        start → direct sparse solve → anchored re-solve) when a solve
+        fails to converge or diverges.  Off, failed solves are used as-is
+        (the pre-guardrail behavior).
+    step_limit_factor:
+        Force-explosion threshold for the health guard: a solved position
+        farther than this multiple of the region half-perimeter from the
+        region center is declared an explosion even if finite.
+    deadline_seconds:
+        Wall-clock budget for :meth:`~repro.core.placer.KraftwerkPlacer.
+        place`.  When exceeded, the run stops and returns the best
+        feasible placement seen so far (never a worse or non-finite one);
+        ``None`` disables the deadline.
+    checkpoint_path:
+        When set, a resumable snapshot (positions + accumulated forces +
+        warm-start state + iteration counter) is written here every
+        ``checkpoint_every`` transformations; see
+        :mod:`repro.core.checkpoint`.
+    checkpoint_every:
+        Snapshot period in transformations.
     """
 
     K: float = STANDARD_K
@@ -130,6 +158,12 @@ class PlacerConfig:
     clamp_to_region: bool = True
     seed: int = 2207
     verbose: bool = False
+    health_checks: bool = True
+    recovery: bool = True
+    step_limit_factor: float = 64.0
+    deadline_seconds: Optional[float] = None
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 10
 
     def __post_init__(self) -> None:
         if self.K <= 0:
@@ -151,6 +185,12 @@ class PlacerConfig:
             )
         if self.response_tether <= 0 or self.spread_pin <= 0:
             raise ValueError("response_tether and spread_pin must be positive")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive (or None)")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
+        if self.step_limit_factor <= 0:
+            raise ValueError("step_limit_factor must be positive")
 
     @classmethod
     def standard(cls, **overrides) -> "PlacerConfig":

@@ -17,6 +17,7 @@ from ..geometry import PlacementRegion
 from ..netlist import Netlist, Placement
 from ..observability import NULL_TELEMETRY
 from .density import DensityModel, DensityResult
+from .health import _FAULT_HOOKS
 from .poisson import ForceField, compute_force_field, solver_for_grid
 
 
@@ -128,7 +129,7 @@ class ForceCalculator:
                 raise ValueError("stiffness must have one entry per movable cell")
             fx = fx * stiffness
             fy = fy * stiffness
-        return CellForces(
+        result = CellForces(
             fx=fx,
             fy=fy,
             scale=scale,
@@ -136,3 +137,8 @@ class ForceCalculator:
             field=field,
             density=density,
         )
+        if _FAULT_HOOKS:
+            hook = _FAULT_HOOKS.get("field")
+            if hook is not None:
+                hook(result)
+        return result

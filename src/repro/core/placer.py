@@ -20,8 +20,9 @@ resume from a previous equilibrium (Section 5).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -29,11 +30,18 @@ from ..evaluation.wirelength import hpwl_meters
 from ..geometry import PlacementRegion, largest_empty_square_side
 from ..netlist import Netlist, Placement
 from ..observability import NULL_TELEMETRY
+from .checkpoint import (
+    PlacerCheckpoint,
+    load_checkpoint,
+    netlist_signature,
+    save_checkpoint,
+)
 from .config import PlacerConfig, STANDARD_K
 from .forces import CellForces, ForceCalculator
+from .health import HealthGuard, _FAULT_HOOKS
 from .linearization import linearization_factors
 from .quadratic import QuadraticSystem
-from .solver import conjugate_gradient
+from .solver import conjugate_gradient, solve_with_recovery
 
 # Hook signatures: called before each transformation.
 NetWeightHook = Callable[[int, Placement], Optional[np.ndarray]]
@@ -56,6 +64,9 @@ class IterationStats:
     # Wall-clock per phase (density/poisson/sample/assemble/solve/stats),
     # filled only when a real telemetry recorder is attached; {} otherwise.
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    # Recovery-ladder rungs taken by this transformation's solves (0 on a
+    # healthy transformation).
+    recovery_escalations: int = 0
 
 
 @dataclass
@@ -71,6 +82,11 @@ class PlacementResult:
     # Aggregate telemetry summary (span totals + metric-stream tails) when
     # the placer ran with a real recorder; None under the no-op default.
     telemetry: Optional[Dict] = None
+    # True when the wall-clock deadline cut the run short; the placement
+    # is then the best feasible iterate seen, not the last one.
+    timed_out: bool = False
+    # Total recovery-ladder rungs taken across the run (0 when healthy).
+    recovery_escalations: int = 0
 
     @property
     def hpwl_m(self) -> float:
@@ -122,6 +138,10 @@ class KraftwerkPlacer:
         # next transformation's density input.
         self._warm: Dict[str, np.ndarray] = {}
         self._demand_cache: Optional[Tuple[Placement, np.ndarray]] = None
+        # Health guard active during place() (None outside a run or when
+        # disabled) and the run's recovery-ladder escalation counter.
+        self._guard: Optional[HealthGuard] = None
+        self._escalations = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -144,6 +164,7 @@ class KraftwerkPlacer:
         extra_demand_hook: Optional[ExtraDemandHook] = None,
         iteration_hook: Optional[IterationHook] = None,
         max_iterations: Optional[int] = None,
+        resume_from: Optional[Union[PlacerCheckpoint, str, Path]] = None,
     ) -> PlacementResult:
         """Run the iterative algorithm to convergence.
 
@@ -153,34 +174,89 @@ class KraftwerkPlacer:
         ``iteration_hook`` observes progress (e.g. to record trade-off
         curves).  ``initial``/``initial_forces`` resume from a previous
         equilibrium for ECO flows.
+
+        ``resume_from`` (a :class:`~repro.core.checkpoint.PlacerCheckpoint`
+        or a path to one) continues an interrupted run bit-identically:
+        positions, accumulated forces, warm-start state, history, and the
+        iteration counter are restored, so the resumed trajectory matches
+        the uninterrupted one exactly.
         """
         cfg = self.config
         limit = max_iterations if max_iterations is not None else cfg.max_iterations
-        placement = initial.copy() if initial is not None else self.initial_placement()
         n_mov = self.netlist.num_movable
-        if initial_forces is not None:
-            e_x = np.asarray(initial_forces[0], dtype=np.float64).copy()
-            e_y = np.asarray(initial_forces[1], dtype=np.float64).copy()
-            if e_x.shape != (n_mov,) or e_y.shape != (n_mov,):
-                raise ValueError("initial forces must have one entry per movable cell")
+        signature = netlist_signature(self.netlist)
+        history: List[IterationStats] = []
+        best: Optional[Dict] = None
+        start_iter = 0
+        prior_seconds = 0.0
+
+        if resume_from is not None:
+            ckpt = (
+                resume_from
+                if isinstance(resume_from, PlacerCheckpoint)
+                else load_checkpoint(resume_from)
+            )
+            if ckpt.signature and ckpt.signature != signature:
+                raise ValueError(
+                    f"checkpoint was taken for {ckpt.signature!r}, not this "
+                    f"netlist ({signature!r})"
+                )
+            placement = Placement(self.netlist, ckpt.x, ckpt.y)
+            e_x = np.asarray(ckpt.e_x, dtype=np.float64).copy()
+            e_y = np.asarray(ckpt.e_y, dtype=np.float64).copy()
+            self._warm = {k: v.copy() for k, v in ckpt.warm.items()}
+            history = [IterationStats(**h) for h in ckpt.history]
+            best = dict(ckpt.best) if ckpt.best is not None else None
+            start_iter = ckpt.iteration
+            prior_seconds = ckpt.elapsed_seconds
         else:
-            e_x = np.zeros(n_mov)
-            e_y = np.zeros(n_mov)
+            placement = (
+                initial.copy() if initial is not None else self.initial_placement()
+            )
+            if initial_forces is not None:
+                e_x = np.asarray(initial_forces[0], dtype=np.float64).copy()
+                e_y = np.asarray(initial_forces[1], dtype=np.float64).copy()
+                if e_x.shape != (n_mov,) or e_y.shape != (n_mov,):
+                    raise ValueError(
+                        "initial forces must have one entry per movable cell"
+                    )
+            else:
+                e_x = np.zeros(n_mov)
+                e_y = np.zeros(n_mov)
+            self._warm = {}
 
         anchor = self._anchor_weight()
         center = self.region.bounds.center
-        self._warm = {}
         self._demand_cache = None
-        history: List[IterationStats] = []
         converged = False
+        timed_out = False
         tel = self.telemetry
+        guard = (
+            HealthGuard(self.region, cfg.step_limit_factor, telemetry=tel)
+            if cfg.health_checks
+            else None
+        )
+        self._guard = guard
+        self._escalations = 0
+        deadline = cfg.deadline_seconds
         place_span = tel.span("place")
         place_span.__enter__()
         t_start = time.perf_counter()
 
         try:
-            for m in range(limit):
+            for m in range(start_iter, limit):
+                if _FAULT_HOOKS:
+                    hook = _FAULT_HOOKS.get("iteration")
+                    if hook is not None:
+                        hook(m)
+                if deadline is not None and (
+                    prior_seconds + time.perf_counter() - t_start >= deadline
+                ):
+                    timed_out = True
+                    tel.add("deadline_exceeded", 1)
+                    break
                 t0 = time.perf_counter()
+                escalations_before = self._escalations
                 with tel.span("iteration") as it_span:
                     weights = (
                         net_weight_hook(m, placement) if net_weight_hook else None
@@ -208,6 +284,10 @@ class KraftwerkPlacer:
                         placement, K=cfg.K, extra_demand=extra,
                         stiffness=stiffness, demand=cached_demand,
                     )
+                    if guard is not None:
+                        guard.check_density(forces.density.density, m)
+                        guard.check_field(forces.field.fx, forces.field.fy, m)
+                        guard.check_forces(forces.fx, forces.fy, m)
                     if cfg.force_mode == "accumulate":
                         e_x += forces.fx
                         e_y += forces.fy
@@ -226,6 +306,7 @@ class KraftwerkPlacer:
                     placement, cg_iters = self._solve(
                         placement, system, e_x, e_y,
                         unevenness=forces.unevenness, anchor=anchor,
+                        iteration=m,
                     )
 
                     with tel.span("stats"):
@@ -241,8 +322,29 @@ class KraftwerkPlacer:
                     cg_iterations=cg_iters,
                     seconds=time.perf_counter() - t0,
                     phase_seconds=it_span.child_seconds(),
+                    recovery_escalations=self._escalations - escalations_before,
                 )
                 history.append(stats)
+                best = self._track_best(best, stats, placement, e_x, e_y, cfg)
+                if cfg.checkpoint_path is not None and (
+                    (m + 1) % cfg.checkpoint_every == 0 or m + 1 == limit
+                ):
+                    save_checkpoint(
+                        cfg.checkpoint_path,
+                        PlacerCheckpoint(
+                            iteration=m + 1,
+                            x=placement.x,
+                            y=placement.y,
+                            e_x=e_x,
+                            e_y=e_y,
+                            warm=self._warm,
+                            history=[asdict(s) for s in history],
+                            best=best,
+                            signature=signature,
+                            elapsed_seconds=prior_seconds
+                            + time.perf_counter() - t_start,
+                        ),
+                    )
                 if tel.enabled:
                     tel.stream("iterations").record(
                         iteration=m,
@@ -285,6 +387,13 @@ class KraftwerkPlacer:
 
         finally:
             place_span.__exit__(None, None, None)
+            self._guard = None
+        if timed_out and best is not None:
+            # Return the lowest-HPWL feasible iterate seen, never a worse
+            # or non-finite one (the last iterate may be mid-kick).
+            placement = Placement(self.netlist, best["x"], best["y"])
+            e_x = best["e_x"].copy()
+            e_y = best["e_y"].copy()
         return PlacementResult(
             placement=placement,
             converged=converged,
@@ -293,7 +402,47 @@ class KraftwerkPlacer:
             forces=(e_x, e_y),
             seconds=time.perf_counter() - t_start,
             telemetry=tel.summary() if tel.enabled else None,
+            timed_out=timed_out,
+            recovery_escalations=self._escalations,
         )
+
+    @staticmethod
+    def _track_best(
+        best: Optional[Dict],
+        stats: IterationStats,
+        placement: Placement,
+        e_x: np.ndarray,
+        e_y: np.ndarray,
+        cfg: PlacerConfig,
+    ) -> Optional[Dict]:
+        """Best-so-far: prefer distribution feasibility, then lowest HPWL.
+
+        The ranking key clamps the distribution score at 1.0, so every
+        iterate that meets the stopping criteria ties on feasibility and
+        the lowest HPWL among them wins; infeasible iterates are ranked by
+        how close they are to feasible.  Only finite iterates qualify.
+        """
+        if not (
+            np.isfinite(placement.x).all()
+            and np.isfinite(placement.y).all()
+            and np.isfinite(stats.hpwl_m)
+        ):
+            return best
+        score = max(
+            stats.empty_square_ratio / cfg.stop_empty_square_cells,
+            stats.overflow_fraction / max(cfg.stop_overflow_fraction, 1e-9),
+        )
+        key = (max(score, 1.0), stats.hpwl_m)
+        if best is not None and key >= (max(best["score"], 1.0), best["hpwl_m"]):
+            return best
+        return {
+            "score": score,
+            "hpwl_m": stats.hpwl_m,
+            "x": placement.x.copy(),
+            "y": placement.y.copy(),
+            "e_x": e_x.copy(),
+            "e_y": e_y.copy(),
+        }
 
     # ------------------------------------------------------------------
     # One placement transformation
@@ -324,6 +473,28 @@ class KraftwerkPlacer:
             anchor_xy=center,
         )
 
+    def _cg(self, A, b, x0, tol, iteration: int):
+        """One linear solve, with the recovery ladder when enabled.
+
+        The happy path of :func:`solve_with_recovery` is exactly one
+        :func:`conjugate_gradient` call — same warm start, same tolerance,
+        bit-identical result — so enabling recovery costs nothing until a
+        solve actually fails.
+        """
+        cfg = self.config
+        if not cfg.recovery:
+            return conjugate_gradient(
+                A, b, x0=x0, tol=tol, max_iter=cfg.cg_max_iter,
+                telemetry=self.telemetry,
+            )
+        result = solve_with_recovery(
+            A, b, x0=x0, tol=tol, strict_tol=cfg.cg_tol,
+            max_iter=cfg.cg_max_iter, telemetry=self.telemetry,
+            iteration=iteration,
+        )
+        self._escalations += len(result.escalations)
+        return result
+
     def _solve(
         self,
         placement: Placement,
@@ -332,6 +503,7 @@ class KraftwerkPlacer:
         e_y: np.ndarray,
         unevenness: float = 1.0,
         anchor: float = 0.0,
+        iteration: int = 0,
     ) -> Tuple[Placement, int]:
         cfg = self.config
         tel = self.telemetry
@@ -343,19 +515,17 @@ class KraftwerkPlacer:
             # (wire-length re-optimization) spans, so both phases show up
             # side by side in the iteration breakdown.
             new_x, new_y, cg_iters = self._hold_step(
-                system, x0, y0, fx, fy, unevenness, anchor, tol
+                system, x0, y0, fx, fy, unevenness, anchor, tol,
+                iteration=iteration,
             )
         else:
             with tel.span("solve"):
-                rx = conjugate_gradient(
-                    system.Ax, system.bx + fx, x0=x0,
-                    tol=tol, max_iter=cfg.cg_max_iter, telemetry=tel,
-                )
-                ry = conjugate_gradient(
-                    system.Ay, system.by + fy, x0=y0,
-                    tol=tol, max_iter=cfg.cg_max_iter, telemetry=tel,
-                )
+                rx = self._cg(system.Ax, system.bx + fx, x0, tol, iteration)
+                ry = self._cg(system.Ay, system.by + fy, y0, tol, iteration)
                 new_x, new_y, cg_iters = rx.x, ry.x, rx.iterations + ry.iterations
+        if self._guard is not None:
+            n = self.system.n_movable
+            self._guard.check_solution(new_x[:n], new_y[:n], iteration)
         new_placement = self.system.placement_from_vars(new_x, new_y, placement)
         if cfg.clamp_to_region:
             new_placement.clamp_to_region(self.region)
@@ -388,6 +558,7 @@ class KraftwerkPlacer:
         unevenness: float,
         anchor: float = 0.0,
         tol: Optional[float] = None,
+        iteration: int = 0,
     ) -> Tuple[np.ndarray, np.ndarray, int]:
         """One transformation in hold mode.
 
@@ -423,13 +594,13 @@ class KraftwerkPlacer:
             # iterate.
             diag_mean = float(system.Ax.diagonal().mean())
             mu = cfg.response_tether * diag_mean
-            ru = conjugate_gradient(
-                system.shifted_x(mu), fx, x0=self._warm.get("response_x"),
-                tol=tol, max_iter=cfg.cg_max_iter, telemetry=tel,
+            ru = self._cg(
+                system.shifted_x(mu), fx, self._warm.get("response_x"),
+                tol, iteration,
             )
-            rv = conjugate_gradient(
-                system.shifted_y(mu), fy, x0=self._warm.get("response_y"),
-                tol=tol, max_iter=cfg.cg_max_iter, telemetry=tel,
+            rv = self._cg(
+                system.shifted_y(mu), fy, self._warm.get("response_y"),
+                tol, iteration,
             )
             self._warm["response_x"] = ru.x
             self._warm["response_y"] = rv.x
@@ -463,13 +634,13 @@ class KraftwerkPlacer:
         with tel.span("solve"):
             pin = cfg.spread_pin * (cfg.K / STANDARD_K) * diag_mean
             pin = max(pin, 10.0 * anchor)
-            rx = conjugate_gradient(
-                system.shifted_x(pin), system.bx + pin * spread_x, x0=spread_x,
-                tol=tol, max_iter=cfg.cg_max_iter, telemetry=tel,
+            rx = self._cg(
+                system.shifted_x(pin), system.bx + pin * spread_x, spread_x,
+                tol, iteration,
             )
-            ry = conjugate_gradient(
-                system.shifted_y(pin), system.by + pin * spread_y, x0=spread_y,
-                tol=tol, max_iter=cfg.cg_max_iter, telemetry=tel,
+            ry = self._cg(
+                system.shifted_y(pin), system.by + pin * spread_y, spread_y,
+                tol, iteration,
             )
             cg_iters += rx.iterations + ry.iterations
             return rx.x, ry.x, cg_iters

@@ -8,14 +8,16 @@ anchor are present) and cross-check against scipy's CG in the tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import warnings
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from ..observability import NULL_TELEMETRY
+from .health import NumericalHealthError, _FAULT_HOOKS, array_stats
 
 
 @dataclass
@@ -24,6 +26,9 @@ class SolveResult:
     iterations: int
     residual_norm: float
     converged: bool
+    # Recovery-ladder rungs that fired to produce this solution, in order
+    # ("tighten", "cold_start", "direct", "anchored"); [] on the fast path.
+    escalations: List[str] = field(default_factory=list)
 
 
 class ShiftedOperator:
@@ -124,11 +129,155 @@ def conjugate_gradient(
         iterations += 1
     telemetry.add("cg_solves", 1)
     telemetry.add("cg_iterations", iterations)
-    return SolveResult(
+    result = SolveResult(
         x=x,
         iterations=iterations,
         residual_norm=res_norm,
         converged=res_norm <= target,
+    )
+    if _FAULT_HOOKS:
+        hook = _FAULT_HOOKS.get("cg")
+        if hook is not None:
+            result = hook(result, A, b) or result
+    return result
+
+
+#: Recovery-ladder rung names, in escalation order.
+RECOVERY_RUNGS = ("tighten", "cold_start", "direct", "anchored")
+
+
+def _healthy(result: SolveResult) -> bool:
+    return result.converged and bool(np.isfinite(result.x).all())
+
+
+def _try_direct(A: sp.spmatrix, b: np.ndarray) -> np.ndarray:
+    """``spsolve`` that reports failure as NaNs instead of raising.
+
+    A singular factorization raises ``RuntimeError`` or emits
+    ``MatrixRankWarning`` (an error under warnings-as-errors test runs)
+    depending on the scipy backend; the ladder wants a uniform "this rung
+    produced no finite solution" signal either way.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", spla.MatrixRankWarning)
+        with np.errstate(all="ignore"):
+            try:
+                x = spla.spsolve(A.tocsc(), b)
+            except RuntimeError:
+                return np.full(A.shape[0], np.nan)
+    return np.atleast_1d(np.asarray(x, dtype=np.float64))
+
+
+def solve_with_recovery(
+    A: sp.spmatrix,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-8,
+    strict_tol: Optional[float] = None,
+    max_iter: int = 1000,
+    telemetry=NULL_TELEMETRY,
+    iteration: Optional[int] = None,
+) -> SolveResult:
+    """CG with an escalation ladder for non-convergent or divergent solves.
+
+    The happy path is exactly one :func:`conjugate_gradient` call — same
+    warm start, same tolerance, same result bit for bit.  When that solve
+    fails to converge (stall, SPD breakdown) or produces non-finite values
+    (divergence), recovery escalates one rung at a time:
+
+    1. **tighten** — re-solve at ``strict_tol`` with a doubled iteration
+       budget, warm-started from the failed iterate if it is finite (a
+       loose adaptive tolerance may simply have been too optimistic);
+    2. **cold_start** — discard the warm start entirely (a stale warm
+       iterate from the previous transformation can park CG in a bad
+       subspace) and re-solve from zero at ``strict_tol``;
+    3. **direct** — sparse LU via :func:`scipy.sparse.linalg.spsolve`,
+       bypassing CG altogether;
+    4. **anchored** — direct solve of ``A + eps·I`` with a tiny diagonal
+       anchor (``1e-6`` of the mean diagonal), for systems too
+       ill-conditioned even for LU.
+
+    Each rung taken bumps a ``recovery_<rung>`` telemetry counter.  If the
+    ladder is exhausted without a finite solution, or the right-hand side
+    is already non-finite, a :class:`NumericalHealthError` (phase
+    ``"solve"``) is raised.
+    """
+    if not np.isfinite(b).all():
+        raise NumericalHealthError(
+            "non-finite right-hand side; upstream forces are corrupt",
+            iteration=iteration,
+            phase="solve",
+            stats=array_stats(b),
+        )
+    strict = tol if strict_tol is None else min(strict_tol, tol)
+    escalations: List[str] = []
+    iterations = 0
+
+    def _escalate(rung: str) -> None:
+        escalations.append(rung)
+        telemetry.add(f"recovery_{rung}", 1)
+
+    diag = A.diagonal()
+    cg_usable = bool(np.isfinite(diag).all() and np.all(diag > 0))
+    if cg_usable:
+        result = conjugate_gradient(
+            A, b, x0=x0, tol=tol, max_iter=max_iter, telemetry=telemetry
+        )
+        if _healthy(result):
+            return result
+        iterations = result.iterations
+
+        # Rung 1: tighten the tolerance, keep any finite progress made.
+        _escalate("tighten")
+        warm = result.x if np.isfinite(result.x).all() else x0
+        if warm is not None and not np.isfinite(warm).all():
+            warm = None
+        result = conjugate_gradient(
+            A, b, x0=warm, tol=strict, max_iter=2 * max_iter,
+            telemetry=telemetry,
+        )
+        iterations += result.iterations
+        if _healthy(result):
+            return SolveResult(result.x, iterations, result.residual_norm,
+                               True, escalations)
+
+        # Rung 2: discard the warm start.
+        _escalate("cold_start")
+        result = conjugate_gradient(
+            A, b, x0=None, tol=strict, max_iter=2 * max_iter,
+            telemetry=telemetry,
+        )
+        iterations += result.iterations
+        if _healthy(result):
+            return SolveResult(result.x, iterations, result.residual_norm,
+                               True, escalations)
+
+    # Rung 3: direct sparse factorization.
+    _escalate("direct")
+    x = _try_direct(A, b)
+    if np.isfinite(x).all():
+        res = float(np.linalg.norm(b - A @ x))
+        return SolveResult(np.asarray(x, dtype=np.float64), iterations,
+                           res, True, escalations)
+
+    # Rung 4: anchored re-solve (tiny diagonal regularization).
+    _escalate("anchored")
+    diag = A.diagonal()
+    finite_diag = diag[np.isfinite(diag)]
+    scale = float(np.abs(finite_diag).mean()) if finite_diag.size else 1.0
+    eps = 1e-6 * max(scale, 1e-12)
+    anchored = A + eps * sp.identity(A.shape[0], format="csr")
+    x = _try_direct(anchored, b)
+    if np.isfinite(x).all():
+        res = float(np.linalg.norm(b - A @ x))
+        return SolveResult(np.asarray(x, dtype=np.float64), iterations,
+                           res, True, escalations)
+
+    raise NumericalHealthError(
+        "linear solve diverged and every recovery rung failed",
+        iteration=iteration,
+        phase="solve",
+        stats={"escalations": tuple(escalations), **array_stats(x)},
     )
 
 

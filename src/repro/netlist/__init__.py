@@ -24,6 +24,7 @@ from .benchmarks import (
 )
 from .bookshelf import load_bookshelf, save_bookshelf
 from .clustering import Clustering, cluster_netlist
+from .validate import ValidationIssue, ValidationReport, validate_netlist
 from .io import (
     load_netlist,
     save_netlist,
@@ -59,6 +60,9 @@ __all__ = [
     "save_bookshelf",
     "Clustering",
     "cluster_netlist",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_netlist",
     "load_netlist",
     "save_netlist",
     "load_placement",

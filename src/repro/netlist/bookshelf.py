@@ -165,23 +165,41 @@ def load_bookshelf(
     return netlist, region, placement
 
 
-def _data_lines(path: Path) -> List[str]:
+def _data_lines(path: Path) -> List[Tuple[int, str]]:
+    """Meaningful ``(line_number, text)`` pairs of a Bookshelf file.
+
+    Strips ``#`` comments, blank lines (including trailing ones) and the
+    ``UCLA ...`` header; line numbers are 1-based positions in the *raw*
+    file so diagnostics point at the actual offending line.
+    """
     out = []
-    for raw in path.read_text(encoding="utf-8").splitlines():
+    for number, raw in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
         line = raw.split("#", 1)[0].strip()
         if line and not line.startswith("UCLA"):
-            out.append(line)
+            out.append((number, line))
     return out
+
+
+def _parse_error(path: Path, lineno: int, message: str) -> ValueError:
+    return ValueError(f"{path.name}:{lineno}: {message}")
 
 
 def _read_nodes(path: Path) -> Tuple[Dict[str, Tuple[float, float]], set]:
     sizes: Dict[str, Tuple[float, float]] = {}
     fixed = set()
-    for line in _data_lines(path):
+    for lineno, line in _data_lines(path):
         if line.startswith(("NumNodes", "NumTerminals")):
             continue
         parts = line.split()
-        name, w, h = parts[0], float(parts[1]), float(parts[2])
+        try:
+            name, w, h = parts[0], float(parts[1]), float(parts[2])
+        except (IndexError, ValueError):
+            raise _parse_error(
+                path, lineno,
+                f"malformed node record {line!r} (want: name width height)",
+            ) from None
         sizes[name] = (w, h)
         if "terminal" in parts[3:]:
             fixed.add(name)
@@ -193,13 +211,21 @@ def _read_pl(
 ) -> Tuple[Dict[str, Tuple[float, float]], set]:
     positions: Dict[str, Tuple[float, float]] = {}
     fixed = set()
-    for line in _data_lines(path):
+    for lineno, line in _data_lines(path):
         parts = line.replace(":", " ").split()
         if len(parts) < 3:
             continue
-        name, xlo, ylo = parts[0], float(parts[1]), float(parts[2])
+        try:
+            name, xlo, ylo = parts[0], float(parts[1]), float(parts[2])
+        except ValueError:
+            raise _parse_error(
+                path, lineno,
+                f"malformed placement record {line!r} (want: name x y ...)",
+            ) from None
         if name not in sizes:
-            raise ValueError(f".pl references unknown node {name!r}")
+            raise _parse_error(
+                path, lineno, f"placement references unknown node {name!r}"
+            )
         w, h = sizes[name]
         positions[name] = (xlo + w / 2.0, ylo + h / 2.0)
         if "/FIXED" in line:
@@ -212,22 +238,40 @@ def _read_nets(path: Path, builder: NetlistBuilder) -> None:
     i = 0
     net_counter = 0
     while i < len(lines):
-        line = lines[i]
+        head_lineno, line = lines[i]
         i += 1
         if not line.startswith("NetDegree"):
             continue
         head = line.replace(":", " ").split()
-        degree = int(head[1])
+        try:
+            degree = int(head[1])
+        except (IndexError, ValueError):
+            raise _parse_error(
+                path, head_lineno, f"malformed net header {line!r}"
+            ) from None
         name = head[2] if len(head) > 2 else f"net{net_counter}"
         net_counter += 1
         pins = []
         for _ in range(degree):
-            parts = lines[i].replace(":", " ").split()
+            if i >= len(lines) or lines[i][1].startswith("NetDegree"):
+                raise _parse_error(
+                    path, head_lineno,
+                    f"net {name!r} declares {degree} pins but only "
+                    f"{len(pins)} follow",
+                )
+            pin_lineno, pin_line = lines[i]
+            parts = pin_line.replace(":", " ").split()
             i += 1
             node = parts[0]
             direction = "output" if len(parts) > 1 and parts[1].upper() == "O" else "input"
-            dx = float(parts[2]) if len(parts) > 2 else 0.0
-            dy = float(parts[3]) if len(parts) > 3 else 0.0
+            try:
+                dx = float(parts[2]) if len(parts) > 2 else 0.0
+                dy = float(parts[3]) if len(parts) > 3 else 0.0
+            except ValueError:
+                raise _parse_error(
+                    path, pin_lineno,
+                    f"malformed pin offset in {pin_line!r}",
+                ) from None
             pins.append((node, direction, dx, dy))
         # Bookshelf nets may list several outputs (e.g. bidirectional pads);
         # keep the first as driver, demote the rest to inputs.
@@ -249,23 +293,35 @@ def _read_scl(path: Path) -> PlacementRegion:
     i = 0
     index = 0
     while i < len(lines):
-        if lines[i].startswith("CoreRow"):
+        if lines[i][1].startswith("CoreRow"):
+            row_lineno = lines[i][0]
             fields: Dict[str, float] = {}
             i += 1
-            while i < len(lines) and lines[i] != "End":
-                parts = lines[i].replace(":", " ").split()
-                if parts[0] == "Coordinate":
-                    fields["y"] = float(parts[1])
-                elif parts[0] == "Height":
-                    fields["h"] = float(parts[1])
-                elif parts[0] == "SubrowOrigin":
-                    fields["x"] = float(parts[1])
-                    if "NumSites" in parts:
-                        k = parts.index("NumSites")
-                        fields["sites"] = float(parts[k + 1])
-                elif parts[0] == "Sitespacing":
-                    fields["spacing"] = float(parts[1])
+            while i < len(lines) and lines[i][1] != "End":
+                lineno, text = lines[i]
+                parts = text.replace(":", " ").split()
+                try:
+                    if parts[0] == "Coordinate":
+                        fields["y"] = float(parts[1])
+                    elif parts[0] == "Height":
+                        fields["h"] = float(parts[1])
+                    elif parts[0] == "SubrowOrigin":
+                        fields["x"] = float(parts[1])
+                        if "NumSites" in parts:
+                            k = parts.index("NumSites")
+                            fields["sites"] = float(parts[k + 1])
+                    elif parts[0] == "Sitespacing":
+                        fields["spacing"] = float(parts[1])
+                except (IndexError, ValueError):
+                    raise _parse_error(
+                        path, lineno, f"malformed row attribute {text!r}"
+                    ) from None
                 i += 1
+            if "y" not in fields or "h" not in fields:
+                raise _parse_error(
+                    path, row_lineno,
+                    "CoreRow is missing Coordinate or Height",
+                )
             width = fields.get("sites", 0.0) * fields.get("spacing", 1.0)
             rows.append(
                 Row(
@@ -279,7 +335,7 @@ def _read_scl(path: Path) -> PlacementRegion:
             index += 1
         i += 1
     if not rows:
-        raise ValueError("no CoreRow records in .scl file")
+        raise ValueError(f"{path.name}: no CoreRow records in .scl file")
     xlo = min(r.xlo for r in rows)
     xhi = max(r.xhi for r in rows)
     ylo = min(r.y for r in rows)

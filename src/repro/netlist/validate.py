@@ -1,0 +1,206 @@
+"""Input validation and repair for netlists entering the placement pipeline.
+
+:class:`~repro.netlist.netlist.Netlist` construction rejects structurally
+broken inputs (duplicate names, out-of-range pin indices, non-finite or
+negative cell sizes).  This module handles the grey zone: inputs that are
+*formally* valid but would poison or degrade a placement run — degenerate
+all-same-cell nets, zero-area cells smuggled in through dataclass mutation,
+non-finite initial position hints, fixed cells pinned outside the placement
+region.
+
+:func:`validate_netlist` either repairs these in place (permissive mode,
+the default) or rejects them (``strict=True``), and always returns a
+structured :class:`ValidationReport` saying exactly what it found and what
+it did about it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry import PlacementRegion
+from .netlist import Netlist
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One defect found in a netlist.
+
+    ``code`` is a stable machine-readable identifier (``nonfinite-hint``,
+    ``degenerate-size``, ``degenerate-net``, ``fixed-outside-region``),
+    ``subject`` the offending cell or net name, ``message`` the human
+    explanation, and ``repaired`` whether permissive mode fixed it.
+    """
+
+    code: str
+    subject: str
+    message: str
+    repaired: bool = False
+
+    def __str__(self) -> str:
+        state = "repaired" if self.repaired else "rejected"
+        return f"[{self.code}] {self.subject}: {self.message} ({state})"
+
+
+@dataclass
+class ValidationReport:
+    """Everything :func:`validate_netlist` found, in discovery order."""
+
+    issues: List[ValidationIssue]
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    @property
+    def num_repairs(self) -> int:
+        return sum(1 for issue in self.issues if issue.repaired)
+
+    def by_code(self, code: str) -> List[ValidationIssue]:
+        return [issue for issue in self.issues if issue.code == code]
+
+    def summary(self) -> str:
+        if not self.issues:
+            return "netlist clean: no issues found"
+        counts: dict = {}
+        for issue in self.issues:
+            counts[issue.code] = counts.get(issue.code, 0) + 1
+        parts = ", ".join(f"{code} x{n}" for code, n in sorted(counts.items()))
+        return f"{len(self.issues)} issue(s): {parts} ({self.num_repairs} repaired)"
+
+
+def _inside_closed(region: PlacementRegion, x: float, y: float) -> bool:
+    """Closed containment: pads conventionally sit *on* the boundary."""
+    bounds = region.bounds
+    return bool(
+        bounds.xlo <= x <= bounds.xhi and bounds.ylo <= y <= bounds.yhi
+    )
+
+
+def validate_netlist(
+    netlist: Netlist,
+    region: Optional[PlacementRegion] = None,
+    strict: bool = False,
+) -> Tuple[Netlist, ValidationReport]:
+    """Check *netlist* for pipeline-poisoning defects; repair or reject.
+
+    Checks performed:
+
+    - movable cells with non-finite initial position hints (the hint is
+      dropped — the placer starts them at the region center anyway);
+    - cells with non-finite or non-positive width/height (the dimension is
+      bumped to the median of the healthy cells, falling back to ``1.0``);
+    - nets whose pins all sit on one cell — they contribute nothing to the
+      quadratic system but still cost clique expansion (the net is dropped);
+    - with *region* given, fixed cells whose center lies outside it (the
+      center is clamped onto the region boundary).
+
+    In permissive mode (default) every defect is repaired and recorded; a
+    new :class:`Netlist` is built only if something actually changed.  With
+    ``strict=True`` the first category found raises :class:`ValueError`
+    listing every offender, so callers get the full damage report in one
+    failure instead of a fix-one-rerun loop.
+
+    Returns ``(netlist, report)`` — the original instance when clean.
+    """
+    issues: List[ValidationIssue] = []
+    repaired = not strict
+
+    widths = netlist.widths
+    heights = netlist.heights
+    healthy = np.isfinite(widths) & (widths > 0) & np.isfinite(heights) & (heights > 0)
+    fallback_w = float(np.median(widths[healthy])) if healthy.any() else 1.0
+    fallback_h = float(np.median(heights[healthy])) if healthy.any() else 1.0
+
+    new_cells = list(netlist.cells)
+    for i, cell in enumerate(netlist.cells):
+        fixes = {}
+        if not (np.isfinite(cell.width) and cell.width > 0):
+            fixes["width"] = fallback_w
+        if not (np.isfinite(cell.height) and cell.height > 0):
+            fixes["height"] = fallback_h
+        if fixes:
+            issues.append(
+                ValidationIssue(
+                    code="degenerate-size",
+                    subject=cell.name,
+                    message=(
+                        f"size {cell.width} x {cell.height} is not a positive "
+                        f"finite area; using {fixes.get('width', cell.width)} x "
+                        f"{fixes.get('height', cell.height)}"
+                    ),
+                    repaired=repaired,
+                )
+            )
+        if not cell.fixed:
+            hint_bad = (
+                cell.x is not None and not np.isfinite(cell.x)
+            ) or (cell.y is not None and not np.isfinite(cell.y))
+            if hint_bad:
+                fixes["x"] = None
+                fixes["y"] = None
+                issues.append(
+                    ValidationIssue(
+                        code="nonfinite-hint",
+                        subject=cell.name,
+                        message=(
+                            f"initial position hint ({cell.x}, {cell.y}) is "
+                            "not finite; dropping it"
+                        ),
+                        repaired=repaired,
+                    )
+                )
+        elif region is not None and not _inside_closed(region, cell.x, cell.y):
+            bounds = region.bounds
+            fixes["x"] = float(np.clip(cell.x, bounds.xlo, bounds.xhi))
+            fixes["y"] = float(np.clip(cell.y, bounds.ylo, bounds.yhi))
+            issues.append(
+                ValidationIssue(
+                    code="fixed-outside-region",
+                    subject=cell.name,
+                    message=(
+                        f"fixed at ({cell.x}, {cell.y}), outside the region; "
+                        f"clamping to ({fixes['x']}, {fixes['y']})"
+                    ),
+                    repaired=repaired,
+                )
+            )
+        if fixes and repaired:
+            new_cells[i] = replace(cell, **fixes)
+
+    new_nets = []
+    for net in netlist.nets:
+        cells_on_net = set(net.cells())
+        if len(cells_on_net) <= 1:
+            issues.append(
+                ValidationIssue(
+                    code="degenerate-net",
+                    subject=net.name,
+                    message=(
+                        f"all {net.degree} pin(s) sit on one cell; the net "
+                        "constrains nothing and is dropped"
+                    ),
+                    repaired=repaired,
+                )
+            )
+            if repaired:
+                continue
+        new_nets.append(net)
+
+    report = ValidationReport(issues=issues)
+    if strict and issues:
+        detail = "; ".join(str(issue) for issue in issues)
+        raise ValueError(f"netlist {netlist.name!r} failed validation: {detail}")
+    if report.num_repairs == 0:
+        return netlist, report
+    # Rebuild rather than mutate: Netlist is immutable by contract, and its
+    # construction re-derives every cached array from the repaired cells.
+    rebuilt = Netlist(
+        netlist.name,
+        [replace(c) for c in new_cells],
+        [replace(n, pins=list(n.pins)) for n in new_nets],
+    )
+    return rebuilt, report

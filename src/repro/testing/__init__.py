@@ -1,0 +1,21 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the fault-injection harness used by the
+robustness suite to prove that every guardrail and recovery path in the
+placement pipeline actually fires.  It is importable from production code
+paths' point of view, but installs nothing unless explicitly asked to.
+"""
+
+from .faults import (
+    FaultInjection,
+    burn_deadline,
+    corrupt_field,
+    fail_cg,
+)
+
+__all__ = [
+    "FaultInjection",
+    "burn_deadline",
+    "corrupt_field",
+    "fail_cg",
+]

@@ -1,0 +1,175 @@
+"""Fault injection for the placement pipeline.
+
+The resilience layer (health guards, the CG recovery ladder, deadlines,
+best-so-far tracking) is only trustworthy if every recovery path has been
+*seen to fire*.  This module provides monkeypatch-style context managers
+that corrupt the pipeline at well-defined hook sites — the force field
+after it is computed, the CG result before the placer consumes it, the
+wall clock at the top of a transformation — so tests can drive the
+pipeline into exactly the failure they want to prove is handled.
+
+The hooks live in :mod:`repro.core.health` and cost a single dict
+truthiness check when nothing is installed; production behavior is
+untouched.  All installers are context managers that restore the previous
+hook on exit, even on error, so a failing test cannot leak faults into
+the next one.
+
+Example::
+
+    from repro.testing import corrupt_field
+
+    with corrupt_field(at_iteration=3):
+        with pytest.raises(NumericalHealthError) as err:
+            placer.place()
+    assert err.value.iteration == 3 and err.value.phase == "field"
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import replace
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..core import health
+
+
+@contextmanager
+def _install(site: str, hook) -> Iterator[None]:
+    """Install *hook* at *site*, restoring the previous hook on exit."""
+    previous = health._FAULT_HOOKS.get(site)
+    health.install_fault_hook(site, hook)
+    try:
+        yield
+    finally:
+        if previous is None:
+            health.remove_fault_hook(site)
+        else:
+            health.install_fault_hook(site, previous)
+
+
+class FaultInjection:
+    """Book-keeping shared by all injectors: how often the fault fired."""
+
+    def __init__(self) -> None:
+        self.fired = 0
+
+
+def corrupt_field(
+    at_iteration: int = 0,
+    kind: str = "nan",
+    target: str = "field",
+) -> "_ContextWithStats":
+    """Poison the computed force field / sampled forces.
+
+    ``kind`` is ``"nan"`` or ``"inf"``; ``target`` selects what gets
+    corrupted: ``"field"`` (the Poisson field grids), ``"force"`` (the
+    per-cell sampled forces), or ``"density"`` (the density map).  The
+    fault fires on the ``at_iteration``-th force computation (0-based),
+    exactly what the health guard must attribute to that phase.
+    """
+    if kind not in ("nan", "inf"):
+        raise ValueError(f"kind must be 'nan' or 'inf', got {kind!r}")
+    if target not in ("field", "force", "density"):
+        raise ValueError(
+            f"target must be 'field', 'force' or 'density', got {target!r}"
+        )
+    poison = np.nan if kind == "nan" else np.inf
+    stats = FaultInjection()
+    calls = {"n": -1}
+
+    def hook(forces) -> None:
+        calls["n"] += 1
+        if calls["n"] != at_iteration:
+            return
+        stats.fired += 1
+        if target == "density":
+            forces.density.density[0, 0] = poison
+        elif target == "field":
+            forces.field.fx[..., 0] = poison
+        else:
+            if forces.fx.size:
+                forces.fx[0] = poison
+            else:  # nothing to poison; corrupt the field instead
+                forces.field.fx[..., 0] = poison
+
+    return _ContextWithStats(_install("field", hook), stats)
+
+
+def fail_cg(
+    times: int = 1,
+    mode: str = "stall",
+    min_call: int = 0,
+) -> "_ContextWithStats":
+    """Make :func:`~repro.core.solver.conjugate_gradient` report failure.
+
+    The hook intercepts the CG result *after* a genuine solve:
+
+    - ``mode="stall"`` marks it non-converged (residual never met the
+      target) while keeping the finite iterate — the recovery ladder
+      should retry with a tighter tolerance / cold start and succeed;
+    - ``mode="diverge"`` replaces the solution with non-finite garbage —
+      the ladder must fall through to the direct solve.
+
+    The first ``min_call`` CG calls pass untouched (so a run can get off
+    the ground before the fault fires); the next ``times`` calls fail.
+    The direct-solve rungs bypass CG entirely, so a run always completes
+    once the ladder escalates past the CG rungs.
+    """
+    if mode not in ("stall", "diverge"):
+        raise ValueError(f"mode must be 'stall' or 'diverge', got {mode!r}")
+    stats = FaultInjection()
+    calls = {"n": -1}
+
+    def hook(result, A, b):
+        calls["n"] += 1
+        if calls["n"] < min_call or stats.fired >= times:
+            return result
+        stats.fired += 1
+        if mode == "stall":
+            return replace(result, converged=False)
+        return replace(
+            result, x=np.full_like(result.x, np.nan), converged=False,
+            residual_norm=float("inf"),
+        )
+
+    return _ContextWithStats(_install("cg", hook), stats)
+
+
+def burn_deadline(
+    seconds: float = 0.05,
+    from_iteration: int = 0,
+    sleep=time.sleep,
+) -> "_ContextWithStats":
+    """Burn wall-clock at the top of each transformation.
+
+    From ``from_iteration`` on, every transformation start sleeps for
+    ``seconds``, so a configured ``deadline_seconds`` is guaranteed to
+    trip mid-run and the best-so-far return path can be exercised without
+    flaky timing assumptions.
+    """
+    stats = FaultInjection()
+
+    def hook(iteration: int) -> None:
+        if iteration >= from_iteration:
+            stats.fired += 1
+            sleep(seconds)
+
+    return _ContextWithStats(_install("iteration", hook), stats)
+
+
+class _ContextWithStats:
+    """Context manager pairing an installer with its fire counter."""
+
+    def __init__(self, ctx, stats: FaultInjection):
+        self._ctx = ctx
+        self.stats = stats
+
+    def __enter__(self) -> FaultInjection:
+        self._ctx.__enter__()
+        return self.stats
+
+    def __exit__(self, *exc) -> Optional[bool]:
+        return self._ctx.__exit__(*exc)

@@ -84,3 +84,62 @@ class TestCommands:
     def test_svg_needs_out(self):
         with pytest.raises(SystemExit):
             main(["place", "--circuit", "fract", "--scale", "0.5", "--svg"])
+
+
+class TestErrorHandling:
+    def test_value_error_exits_nonzero_with_diagnostic(self, tmp_path, capsys):
+        # A corrupt netlist file surfaces as a one-line diagnostic and
+        # exit code 2, not a traceback.
+        bad = tmp_path / "bad.netlist"
+        bad.write_text("this is not a netlist\n")
+        rc = main(["place", "--netlist", str(bad)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1
+
+    def test_missing_file_exits_nonzero(self, tmp_path, capsys):
+        rc = main(["place", "--netlist", str(tmp_path / "nope.netlist")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint_flag(self):
+        with pytest.raises(SystemExit):
+            main(["place", "--circuit", "fract", "--scale", "0.5", "--resume"])
+
+    def test_place_writes_and_resumes_checkpoint(self, tmp_path, capsys):
+        ckpt = tmp_path / "run.npz"
+        rc = main(["place", "--circuit", "fract", "--scale", "0.5",
+                   "--checkpoint", str(ckpt), "--checkpoint-every", "5"])
+        assert rc == 0
+        assert ckpt.exists()
+        capsys.readouterr()
+        rc = main(["place", "--circuit", "fract", "--scale", "0.5",
+                   "--checkpoint", str(ckpt), "--resume"])
+        assert rc == 0
+        assert "global placement" in capsys.readouterr().out
+
+    def test_deadline_flag_returns_best_effort(self, capsys):
+        rc = main(["place", "--circuit", "fract", "--scale", "0.5",
+                   "--deadline", "1e-9"])
+        assert rc == 0
+        assert "deadline hit" in capsys.readouterr().out
+
+    def test_strict_flag_rejects_defective_netlist(self, tmp_path, capsys):
+        from repro.netlist import NetlistBuilder, save_netlist
+
+        b = NetlistBuilder("deg")
+        b.add_cell("a", 4.0, 4.0)
+        b.add_cell("bb", 4.0, 4.0)
+        b.add_net("good", ["a", "bb"])
+        b.add_net("self", [("a", "output"), ("a", "input", 1.0, 0.0)])
+        path = tmp_path / "deg.netlist"
+        save_netlist(b.build(), path)
+
+        rc = main(["place", "--netlist", str(path), "--strict"])
+        assert rc == 2
+        assert "degenerate-net" in capsys.readouterr().err
+
+        rc = main(["place", "--netlist", str(path)])
+        assert rc == 0
+        assert "degenerate-net" in capsys.readouterr().err  # repair report

@@ -53,6 +53,23 @@ class TestDegenerateNetlists:
         result = conjugate_gradient(system.Ax, system.bx, tol=1e-9)
         assert result.converged
 
+    def test_net_with_all_pins_on_one_cell_full_placer(self):
+        # A fully degenerate net (every pin on the same cell) must not
+        # derail the full pipeline: it contributes no springs, and the
+        # placer still produces a finite placement.
+        b = NetlistBuilder("degnet")
+        b.add_fixed_cell("p", 1.0, 1.0, x=5.0, y=25.0)
+        b.add_cell("a", 5.0, 5.0)
+        b.add_cell("bb", 5.0, 5.0)
+        b.add_net("real", [("p", "output"), ("a", "input"), ("bb", "input")])
+        b.add_net("deg", [("a", "output"), ("a", "input", 1.0, 0.0),
+                          ("a", "input", -1.0, 0.0)])
+        nl = b.build()
+        region = PlacementRegion.standard_cell(50.0, 50.0, 5.0)
+        result = KraftwerkPlacer(nl, region, PlacerConfig(max_iterations=5)).place()
+        assert np.isfinite(result.placement.x).all()
+        assert np.isfinite(result.hpwl_m)
+
     def test_all_cells_fixed_but_nets_exist(self):
         b = NetlistBuilder("allfixed")
         b.add_fixed_cell("p0", 1.0, 1.0, x=0.0, y=0.0)

@@ -1,0 +1,180 @@
+"""Input validation: netlist repair/reject and Bookshelf diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import PlacementRegion, Rect
+from repro.netlist import (
+    Netlist,
+    NetlistBuilder,
+    load_bookshelf,
+    validate_netlist,
+)
+from repro.netlist.cell import Cell
+
+
+def _region(w=100.0, h=100.0):
+    return PlacementRegion(bounds=Rect(0.0, 0.0, w, h))
+
+
+class TestNetlistConstructionRejects:
+    def test_nonfinite_cell_size_rejected(self):
+        # Cell.__post_init__'s "width <= 0" check lets NaN through
+        # (NaN comparisons are False), so Netlist must catch it.
+        cells = [Cell("a", float("nan"), 2.0)]
+        with pytest.raises(ValueError, match="non-finite size"):
+            Netlist("bad", cells, [])
+
+    def test_negative_cell_size_rejected(self):
+        cell = Cell("a", 1.0, 1.0)
+        cell.width = -3.0  # post-construction corruption
+        with pytest.raises(ValueError, match="negative size"):
+            Netlist("bad", [cell], [])
+
+    def test_nonfinite_fixed_position_rejected(self):
+        cell = Cell("p", 1.0, 1.0, fixed=True, x=0.0, y=0.0)
+        cell.y = float("inf")
+        with pytest.raises(ValueError, match="non-finite position"):
+            Netlist("bad", [cell], [])
+
+
+class TestValidateNetlist:
+    def _broken(self):
+        b = NetlistBuilder("t")
+        b.add_cell("a", 4.0, 4.0)
+        b.add_cell("hint", 4.0, 4.0, x=np.nan, y=1.0)
+        b.add_fixed_cell("pad", 1.0, 1.0, x=500.0, y=-3.0)
+        b.add_net("good", ["a", "hint"])
+        b.add_net("self", [("a", "output"), ("a", "input", 1.0, 0.0)])
+        nl = b.build()
+        nl.cells[0].width = 0.0
+        return nl
+
+    def test_clean_netlist_untouched(self, four_cell_netlist):
+        out, report = validate_netlist(four_cell_netlist, region=_region())
+        assert out is four_cell_netlist
+        assert report.ok
+        assert report.summary().startswith("netlist clean")
+
+    def test_permissive_repairs_everything(self):
+        out, report = validate_netlist(self._broken(), region=_region())
+        assert report.num_repairs == 4
+        codes = {issue.code for issue in report.issues}
+        assert codes == {
+            "degenerate-size",
+            "nonfinite-hint",
+            "fixed-outside-region",
+            "degenerate-net",
+        }
+        # Repairs actually landed in the rebuilt netlist.
+        assert out.cell_by_name("a").width > 0
+        assert out.cell_by_name("hint").x is None
+        pad = out.cell_by_name("pad")
+        assert (pad.x, pad.y) == (100.0, 0.0)
+        assert [n.name for n in out.nets] == ["good"]
+        # And the rebuilt netlist is clean on a second pass.
+        again, report2 = validate_netlist(out, region=_region())
+        assert again is out and report2.ok
+
+    def test_strict_raises_with_full_damage_report(self):
+        with pytest.raises(ValueError) as err:
+            validate_netlist(self._broken(), region=_region(), strict=True)
+        message = str(err.value)
+        for code in ("degenerate-size", "nonfinite-hint",
+                     "fixed-outside-region", "degenerate-net"):
+            assert code in message
+
+    def test_boundary_pads_are_legal(self):
+        # Pads conventionally sit exactly on the region edge; the
+        # half-open Rect containment must not flag them.
+        b = NetlistBuilder("edge")
+        b.add_cell("a", 2.0, 2.0)
+        b.add_fixed_cell("pr", 1.0, 1.0, x=100.0, y=50.0)
+        b.add_net("n", ["a", "pr"])
+        nl = b.build()
+        out, report = validate_netlist(nl, region=_region())
+        assert report.ok and out is nl
+
+    def test_feedthrough_net_on_two_cells_kept(self):
+        # A net visiting the same cell twice but also another cell is NOT
+        # degenerate (test_self_loop_pins_same_cell relies on this shape).
+        b = NetlistBuilder("loop")
+        b.add_cell("a", 5.0, 5.0)
+        b.add_cell("bb", 5.0, 5.0)
+        b.add_net("n", [("a", "output"), ("a", "input", 2.0, 0.0), ("bb", "input")])
+        out, report = validate_netlist(b.build())
+        assert report.ok
+        assert out.num_nets == 1
+
+    def test_report_by_code(self):
+        _, report = validate_netlist(self._broken(), region=_region())
+        assert len(report.by_code("degenerate-net")) == 1
+        assert report.by_code("nope") == []
+
+
+class TestBookshelfDiagnostics:
+    def _write_minimal(self, tmp_path, nodes=None, nets=None, pl=None, scl=None):
+        (tmp_path / "d.aux").write_text(
+            "RowBasedPlacement : d.nodes d.nets d.pl d.scl\n"
+        )
+        (tmp_path / "d.nodes").write_text(nodes or (
+            "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\n"
+            "  a 8 10\n  bb 8 10\n"
+        ))
+        (tmp_path / "d.nets").write_text(nets or (
+            "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+            "NetDegree : 2  n0\n  a O : 0 0\n  bb I : 0 0\n"
+        ))
+        (tmp_path / "d.pl").write_text(pl or (
+            "UCLA pl 1.0\na 0 0 : N\nbb 20 0 : N\n"
+        ))
+        (tmp_path / "d.scl").write_text(scl or (
+            "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n"
+            "  Coordinate : 0\n  Height : 10\n  Sitespacing : 1\n"
+            "  SubrowOrigin : 0  NumSites : 100\nEnd\n"
+        ))
+        return tmp_path / "d.aux"
+
+    def test_malformed_node_names_file_and_line(self, tmp_path):
+        aux = self._write_minimal(tmp_path, nodes=(
+            "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\n"
+            "  a 8 10\n  bb eight 10\n"
+        ))
+        with pytest.raises(ValueError, match=r"d\.nodes:5: malformed node"):
+            load_bookshelf(aux)
+
+    def test_unknown_pl_node_names_file_and_line(self, tmp_path):
+        aux = self._write_minimal(tmp_path, pl=(
+            "UCLA pl 1.0\na 0 0 : N\nghost 20 0 : N\n"
+        ))
+        with pytest.raises(ValueError, match=r"d\.pl:3: .*unknown node 'ghost'"):
+            load_bookshelf(aux)
+
+    def test_truncated_net_names_header_line(self, tmp_path):
+        aux = self._write_minimal(tmp_path, nets=(
+            "UCLA nets 1.0\nNumNets : 1\nNumPins : 3\n"
+            "NetDegree : 3  n0\n  a O : 0 0\n  bb I : 0 0\n"
+        ))
+        with pytest.raises(ValueError, match=r"d\.nets:4: .*declares 3 pins"):
+            load_bookshelf(aux)
+
+    def test_malformed_row_attribute(self, tmp_path):
+        aux = self._write_minimal(tmp_path, scl=(
+            "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n"
+            "  Coordinate : zero\n  Height : 10\n"
+            "  SubrowOrigin : 0  NumSites : 100\nEnd\n"
+        ))
+        with pytest.raises(ValueError, match=r"d\.scl:4: malformed row"):
+            load_bookshelf(aux)
+
+    def test_comments_and_trailing_blanks_tolerated(self, tmp_path):
+        aux = self._write_minimal(tmp_path, nodes=(
+            "UCLA nodes 1.0\n"
+            "# a comment line\n"
+            "NumNodes : 2\nNumTerminals : 0\n"
+            "  a 8 10  # trailing comment\n"
+            "  bb 8 10\n"
+            "\n\n   \n"
+        ))
+        netlist, _, _ = load_bookshelf(aux)
+        assert netlist.num_cells == 2
