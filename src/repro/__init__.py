@@ -4,15 +4,18 @@ Kraftwerk.
 
 Quickstart::
 
-    from repro import make_circuit, KraftwerkPlacer, final_placement, hpwl_meters
+    import repro
 
-    circuit = make_circuit("primary1", scale=0.2)
-    result = KraftwerkPlacer(circuit.netlist, circuit.region).place()
-    legal = final_placement(result.placement, circuit.region)
-    print(hpwl_meters(legal))
+    result = repro.place("primary1", scale=0.2)   # place + legalize
+    print(result.final_hpwl_m)
+
+    batch = repro.place_many("tiny", seeds=range(8), workers=4)
+    print(batch.best_hpwl_m, batch.median_hpwl_m)
 
 Sub-packages:
 
+- :mod:`repro.api` — the stable one-call facade (``place``/``place_many``).
+- :mod:`repro.parallel` — the parallel batch-placement engine.
 - :mod:`repro.core` — the force-directed global placer (the contribution).
 - :mod:`repro.netlist` — cells, nets, placements, benchmark generators.
 - :mod:`repro.geometry` — rectangles, rows, regions, bin grids.
@@ -101,8 +104,21 @@ from .observability import (
     Telemetry,
     read_trace_jsonl,
 )
+from .api import (
+    FlowResult,
+    place,
+    place_many,
+    region_for_netlist,
+    resolve_source,
+)
+from .parallel import (
+    BatchResult,
+    JobResult,
+    PlacementJob,
+    run_batch,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Grid",
@@ -170,4 +186,13 @@ __all__ = [
     "SpanRecorder",
     "Telemetry",
     "read_trace_jsonl",
+    "FlowResult",
+    "place",
+    "place_many",
+    "region_for_netlist",
+    "resolve_source",
+    "BatchResult",
+    "JobResult",
+    "PlacementJob",
+    "run_batch",
 ]

@@ -1,0 +1,340 @@
+"""Stable one-call facade over the whole placement flow.
+
+Everything the repo can place — a :class:`~repro.netlist.Netlist`, a
+generated circuit, a suite-circuit name, a bench size, a Bookshelf ``.aux``
+file or a repro ``.netlist`` file — goes through two calls:
+
+- :func:`place` runs global placement (plus legalization by default) on one
+  design and returns a frozen, picklable :class:`FlowResult`;
+- :func:`place_many` fans a list of designs/seeds out over the parallel
+  batch engine (:mod:`repro.parallel`) and returns a
+  :class:`~repro.parallel.BatchResult`.
+
+Quickstart::
+
+    import repro
+
+    result = repro.place("primary1", scale=0.3)
+    print(result.final_hpwl_m, "m of wire")
+
+    batch = repro.place_many("tiny", seeds=range(8), workers=4)
+    print(batch.best_hpwl_m, batch.speedup_estimate)
+
+The facade replaces hand-stitching ``make_circuit`` + ``KraftwerkPlacer`` +
+``final_placement`` + ``hpwl_meters``; those remain public for callers that
+need the individual layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple, Union
+
+from .core import KraftwerkPlacer, PlacementResult, PlacerConfig
+from .evaluation import hpwl_meters
+from .geometry import PlacementRegion
+from .legalize import final_placement
+from .netlist import (
+    GeneratedCircuit,
+    Netlist,
+    Placement,
+    ROW_HEIGHT,
+    load_bookshelf,
+    load_netlist,
+    make_circuit,
+)
+
+#: Everything :func:`place` accepts as a design description.
+PlaceSource = Union[
+    Netlist,
+    GeneratedCircuit,
+    str,
+    Path,
+    Tuple[Netlist, PlacementRegion],
+]
+
+
+def region_for_netlist(
+    netlist: Netlist, utilization: float = 0.8
+) -> PlacementRegion:
+    """Square-ish standard-cell region sized from cell area at *utilization*."""
+    area = netlist.movable_area() / utilization
+    height = max(ROW_HEIGHT, round((area**0.5) / ROW_HEIGHT) * ROW_HEIGHT)
+    width = area / height
+    return PlacementRegion.standard_cell(width, height, ROW_HEIGHT)
+
+
+def resolve_source(
+    source: PlaceSource,
+    *,
+    region: Optional[PlacementRegion] = None,
+    utilization: float = 0.8,
+    scale: float = 0.2,
+) -> Tuple[Netlist, PlacementRegion, str]:
+    """Normalize any :data:`PlaceSource` to ``(netlist, region, name)``.
+
+    Resolution order for strings/paths: an existing ``.aux`` path loads as
+    Bookshelf (the region comes from the ``.scl`` rows); any other existing
+    path loads as a repro netlist file; otherwise the string is looked up as
+    a bench size (``tiny``/``small``/``medium``) and then as a suite circuit
+    name (``fract`` … ``avq.large``, sized by *scale*).  An explicit
+    ``region=`` always wins; without one, file-based netlists get a derived
+    region at *utilization*.
+    """
+    if isinstance(source, GeneratedCircuit):
+        netlist = source.netlist
+        resolved = region or source.region
+        return netlist, resolved, netlist.name
+    if isinstance(source, Netlist):
+        resolved = region or region_for_netlist(source, utilization)
+        return source, resolved, source.name
+    if isinstance(source, tuple):
+        if len(source) != 2 or not isinstance(source[0], Netlist):
+            raise TypeError(
+                "tuple sources must be (Netlist, PlacementRegion), got "
+                f"{source!r}"
+            )
+        netlist, tuple_region = source
+        return netlist, region or tuple_region, netlist.name
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        if path.exists() and path.is_file():
+            if path.suffix == ".aux":
+                netlist, file_region, _ = load_bookshelf(path)
+                return netlist, region or file_region, netlist.name
+            netlist = load_netlist(path)
+            resolved = region or region_for_netlist(netlist, utilization)
+            return netlist, resolved, netlist.name
+        name = str(source)
+        # Bench sizes first: they are the canonical tiny/small/medium
+        # circuits the regression harness and the batch smoke both use.
+        from .observability.bench import BENCH_SIZES
+
+        if name in BENCH_SIZES:
+            from .netlist import GeneratorSpec, generate_circuit
+
+            circuit = generate_circuit(
+                GeneratorSpec(name=name, seed=0, **BENCH_SIZES[name])
+            )
+            return circuit.netlist, region or circuit.region, name
+        from .netlist.benchmarks import PROFILES_BY_NAME
+
+        if name in PROFILES_BY_NAME:
+            circuit = make_circuit(name, scale=scale)
+            return circuit.netlist, region or circuit.region, name
+        raise ValueError(
+            f"cannot resolve placement source {source!r}: not an existing "
+            "file, bench size, or suite circuit name"
+        )
+    raise TypeError(
+        "source must be a Netlist, GeneratedCircuit, (netlist, region) "
+        f"tuple, or a path/name string — got {type(source).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """Outcome of one full place(+legalize) flow.
+
+    Frozen and picklable by construction — coordinates, scalars and the
+    config's dict form only, no solver or telemetry handles — so results
+    cross process boundaries cleanly (the batch engine ships them back from
+    worker processes).
+    """
+
+    #: Resolved design name (netlist name or source string).
+    name: str
+    #: The global (analytical) placement.
+    placement: Placement
+    #: The legalized placement, or ``None`` when ``legalize=False``.
+    legalized: Optional[Placement]
+    #: HPWL of the global placement, meters.
+    hpwl_m: float
+    #: HPWL of the legalized placement, meters (``None`` without legalize).
+    legal_hpwl_m: Optional[float]
+    converged: bool
+    iterations: int
+    #: Wall-clock of the full flow (place + legalize), seconds.
+    seconds: float
+    timed_out: bool
+    recovery_escalations: int
+    #: The seed actually used (mirrors ``config["seed"]``).
+    seed: int
+    #: The exact :meth:`~repro.core.config.PlacerConfig.to_dict` knobs used.
+    config: Dict[str, Any]
+
+    @property
+    def final(self) -> Placement:
+        """The most refined placement available (legalized when present)."""
+        return self.legalized if self.legalized is not None else self.placement
+
+    @property
+    def final_hpwl_m(self) -> float:
+        """HPWL of :attr:`final`, meters."""
+        return self.legal_hpwl_m if self.legal_hpwl_m is not None else self.hpwl_m
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe scalar summary (no coordinate arrays)."""
+        return {
+            "name": self.name,
+            "hpwl_m": self.hpwl_m,
+            "legal_hpwl_m": self.legal_hpwl_m,
+            "final_hpwl_m": self.final_hpwl_m,
+            "converged": self.converged,
+            "iterations": self.iterations,
+            "seconds": round(self.seconds, 6),
+            "timed_out": self.timed_out,
+            "recovery_escalations": self.recovery_escalations,
+            "seed": self.seed,
+        }
+
+
+def place(
+    source: PlaceSource,
+    *,
+    config: Optional[Union[PlacerConfig, Dict[str, Any]]] = None,
+    legalize: bool = True,
+    seed: int = 0,
+    region: Optional[PlacementRegion] = None,
+    utilization: float = 0.8,
+    scale: float = 0.2,
+    telemetry=None,
+    max_iterations: Optional[int] = None,
+    resume_from=None,
+) -> FlowResult:
+    """Place one design end to end and return a :class:`FlowResult`.
+
+    *source* is anything :func:`resolve_source` accepts.  *config* is a
+    :class:`~repro.core.config.PlacerConfig` or its ``to_dict()`` form;
+    *seed* always wins over the config's seed so multi-start sweeps can
+    share one config object.  ``legalize=True`` (the default) runs the
+    Abacus + detailed-improvement final placement after global placement.
+
+    The call is deterministic: the same source, config and seed produce a
+    bit-identical placement in any process.
+    """
+    netlist, resolved_region, name = resolve_source(
+        source, region=region, utilization=utilization, scale=scale
+    )
+    if isinstance(config, dict):
+        config = PlacerConfig.from_dict(config)
+    cfg = dc_replace(config, seed=seed) if config is not None else PlacerConfig(
+        seed=seed
+    )
+    placer = KraftwerkPlacer(netlist, resolved_region, cfg, telemetry=telemetry)
+    result: PlacementResult = placer.place(
+        max_iterations=max_iterations, resume_from=resume_from
+    )
+    legal: Optional[Placement] = None
+    legal_hpwl: Optional[float] = None
+    seconds = result.seconds
+    if legalize:
+        import time
+
+        t0 = time.perf_counter()
+        leg_kwargs = {} if telemetry is None else {"telemetry": telemetry}
+        legal = final_placement(result.placement, resolved_region, **leg_kwargs)
+        seconds += time.perf_counter() - t0
+        legal_hpwl = hpwl_meters(legal)
+    return FlowResult(
+        name=name,
+        placement=result.placement,
+        legalized=legal,
+        hpwl_m=result.hpwl_m,
+        legal_hpwl_m=legal_hpwl,
+        converged=result.converged,
+        iterations=result.iterations,
+        seconds=seconds,
+        timed_out=result.timed_out,
+        recovery_escalations=result.recovery_escalations,
+        seed=cfg.seed,
+        config=cfg.to_dict(),
+    )
+
+
+def place_many(
+    sources: Union[PlaceSource, Sequence[Any]],
+    *,
+    seeds: Optional[Iterable[int]] = None,
+    config: Optional[Union[PlacerConfig, Dict[str, Any]]] = None,
+    legalize: bool = True,
+    workers: Optional[int] = None,
+    mp_context: str = "auto",
+    scale: float = 0.2,
+    utilization: float = 0.8,
+    max_iterations: Optional[int] = None,
+    trace_dir=None,
+    progress=None,
+    keep_placements: bool = True,
+):
+    """Place many designs/seeds concurrently; returns a ``BatchResult``.
+
+    *sources* is one :data:`PlaceSource` (fanned out over *seeds* — the
+    multi-start case), a sequence of sources (one job each, seed 0 or the
+    matching entry of *seeds*), or a sequence of prebuilt
+    :class:`~repro.parallel.PlacementJob` specs (used verbatim).
+    *workers* follows :func:`repro.parallel.run_batch` semantics: ``None``
+    uses the CPU count, ``0`` runs serially in-process (the determinism
+    baseline), ``N >= 1`` uses a process pool.
+    """
+    from .parallel import PlacementJob, run_batch
+
+    if isinstance(config, PlacerConfig):
+        config = config.to_dict()
+    common = dict(
+        config=config,
+        legalize=legalize,
+        scale=scale,
+        utilization=utilization,
+        max_iterations=max_iterations,
+    )
+    # A bare (netlist, region) tuple is one source; any other list/tuple is
+    # a sequence of sources (or prebuilt jobs).
+    is_sequence = isinstance(sources, (list, tuple)) and not (
+        isinstance(sources, tuple)
+        and len(sources) == 2
+        and isinstance(sources[0], Netlist)
+    )
+    if is_sequence and sources and all(
+        isinstance(s, PlacementJob) for s in sources
+    ):
+        jobs = list(sources)
+    elif is_sequence:
+        seed_list = list(seeds) if seeds is not None else None
+        if seed_list is not None and len(seed_list) != len(sources):
+            raise ValueError(
+                f"{len(seed_list)} seeds for {len(sources)} sources; pass "
+                "one seed per source (or a single source to fan out seeds)"
+            )
+        jobs = [
+            PlacementJob(
+                source=src,
+                seed=seed_list[i] if seed_list is not None else 0,
+                **common,
+            )
+            for i, src in enumerate(sources)
+        ]
+    else:
+        seed_list = list(seeds) if seeds is not None else [0]
+        jobs = [
+            PlacementJob(source=sources, seed=s, **common) for s in seed_list
+        ]
+    return run_batch(
+        jobs,
+        workers=workers,
+        mp_context=mp_context,
+        trace_dir=trace_dir,
+        progress=progress,
+        keep_placements=keep_placements,
+    )
+
+
+__all__ = [
+    "FlowResult",
+    "PlaceSource",
+    "place",
+    "place_many",
+    "region_for_netlist",
+    "resolve_source",
+]

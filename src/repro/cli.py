@@ -4,6 +4,9 @@ Commands
 --------
 ``stats``    print structural statistics of a suite circuit or netlist file.
 ``place``    global placement (+ optional legalization, SVG, output files).
+``batch``    run many jobs of one design (multi-start seeds) concurrently
+             over the parallel batch engine.
+``sweep``    K / net-model / seed parameter sweep over the batch engine.
 ``timing``   longest-path analysis of a placement.
 ``convert``  convert between the repro text format and Bookshelf.
 ``bench``    place + legalize the generator circuits under telemetry and
@@ -14,6 +17,9 @@ Examples::
     python -m repro stats --circuit biomed --scale 0.2
     python -m repro place --circuit primary1 --scale 0.3 --legalize \
         --out out/primary1 --svg
+    python -m repro batch --circuit tiny --jobs 8 --workers 4 \
+        --compare-serial
+    python -m repro sweep --circuit tiny --K 0.2,1.0 --seeds 0,1,2
     python -m repro timing --netlist out/primary1.netlist \
         --placement out/primary1.placement
     python -m repro convert --netlist out/primary1.netlist \
@@ -29,13 +35,7 @@ import time
 from pathlib import Path
 from typing import Optional, Tuple
 
-from .core import (
-    FAST_K,
-    KraftwerkPlacer,
-    NumericalHealthError,
-    PlacerConfig,
-    STANDARD_K,
-)
+from .core import KraftwerkPlacer, NumericalHealthError, PlacerConfig
 from .evaluation import distribution_stats, format_table, hpwl_meters, total_overlap
 from .geometry import PlacementRegion
 from .legalize import final_placement
@@ -68,10 +68,9 @@ def _load_design(args) -> Tuple[Netlist, PlacementRegion]:
 
 def _region_for(netlist: Netlist, utilization: float) -> PlacementRegion:
     """Square-ish region sized from cell area at the given utilization."""
-    area = netlist.movable_area() / utilization
-    height = max(ROW_HEIGHT, round((area**0.5) / ROW_HEIGHT) * ROW_HEIGHT)
-    width = area / height
-    return PlacementRegion.standard_cell(width, height, ROW_HEIGHT)
+    from .api import region_for_netlist
+
+    return region_for_netlist(netlist, utilization)
 
 
 def _add_design_args(parser: argparse.ArgumentParser) -> None:
@@ -81,6 +80,71 @@ def _add_design_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--netlist", help="repro netlist file instead of --circuit")
     parser.add_argument("--utilization", type=float, default=0.8,
                         help="region utilization when deriving a region")
+
+
+def _add_placer_args(
+    parser: argparse.ArgumentParser, checkpointing: bool = True
+) -> None:
+    """Placer knobs shared by place/batch/sweep.
+
+    Every flag maps onto one :class:`PlacerConfig` field via
+    :meth:`PlacerConfig.from_args`, so all subcommands serialize config
+    identically (and identically to checkpoints and batch job specs).
+    """
+    parser.add_argument("--fast", action="store_true",
+                        help="fast mode (K = 1.0) instead of standard (K = 0.2)")
+    parser.add_argument("--net-model", choices=["clique", "b2b"],
+                        default="clique", dest="net_model")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="placer jitter seed (default: config default)")
+    parser.add_argument("--max-iterations", type=int, default=None,
+                        dest="max_iterations", metavar="N",
+                        help="cap on placement transformations")
+    parser.add_argument("--verbose", action="store_true")
+    if checkpointing:
+        parser.add_argument("--deadline", type=float, default=None,
+                            metavar="SECONDS",
+                            help="per-run wall-clock budget; on expiry the "
+                                 "best placement seen so far is returned")
+        parser.add_argument("--checkpoint", metavar="PATH",
+                            help="periodically snapshot the run state here")
+        parser.add_argument("--checkpoint-every", type=int, default=10,
+                            metavar="N", help="iterations between snapshots "
+                            "(default 10)")
+        parser.add_argument("--resume", action="store_true",
+                            help="resume from --checkpoint if it exists")
+
+
+def _batch_source(args):
+    """The (picklable) job source string/path for batch/sweep commands."""
+    if args.circuit:
+        return args.circuit
+    if args.netlist:
+        return args.netlist
+    raise SystemExit("need --circuit NAME or --netlist FILE")
+
+
+def _parse_seeds(args) -> list:
+    """``--seeds 0,1,2`` wins; else ``--jobs N`` means seeds 0..N-1."""
+    if args.seeds:
+        try:
+            return [int(s) for s in args.seeds.split(",") if s.strip()]
+        except ValueError:
+            raise SystemExit(f"malformed --seeds {args.seeds!r}")
+    return list(range(args.jobs))
+
+
+def _print_progress(result, done: int, total: int) -> None:
+    if result.ok:
+        line = (f"  [{done}/{total}] {result.name}: "
+                f"hpwl {result.final_hpwl_m:.4f} m, "
+                f"{result.iterations} it, {result.seconds:.2f}s")
+        if result.timed_out:
+            line += " (deadline hit)"
+    else:
+        line = (f"  [{done}/{total}] {result.name}: FAILED "
+                f"({result.error_type}: {result.error})")
+    print(line, flush=True)
 
 
 # ----------------------------------------------------------------------
@@ -101,14 +165,7 @@ def cmd_place(args) -> int:
     netlist, report = validate_netlist(netlist, region=region, strict=args.strict)
     if report.issues:
         print(f"validation      : {report.summary()}", file=sys.stderr)
-    config = PlacerConfig(
-        K=FAST_K if args.fast else STANDARD_K,
-        net_model=args.net_model,
-        verbose=args.verbose,
-        deadline_seconds=args.deadline,
-        checkpoint_path=args.checkpoint,
-        checkpoint_every=args.checkpoint_every,
-    )
+    config = PlacerConfig.from_args(args)
     resume_from = None
     if args.resume:
         if not args.checkpoint:
@@ -152,6 +209,181 @@ def cmd_place(args) -> int:
     elif args.svg:
         raise SystemExit("--svg needs --out BASEPATH")
     return 0
+
+
+def cmd_batch(args) -> int:
+    from .parallel import PlacementJob, resolve_workers, run_batch
+
+    source = _batch_source(args)
+    seeds = _parse_seeds(args)
+    config = PlacerConfig.from_args(args).to_dict()
+    config["deadline_seconds"] = args.deadline
+    jobs = [
+        PlacementJob(
+            source=source,
+            seed=seed,
+            config=config,
+            legalize=args.legalize,
+            max_iterations=args.max_iterations,
+            scale=args.scale,
+            utilization=args.utilization,
+        )
+        for seed in seeds
+    ]
+    workers = resolve_workers(args.workers)
+
+    serial = None
+    if args.compare_serial:
+        print(f"batch {source}: {len(jobs)} jobs, serial baseline", flush=True)
+        serial = run_batch(
+            jobs, workers=0, keep_placements=False, progress=_print_progress
+        )
+    print(f"batch {source}: {len(jobs)} jobs, {workers} workers "
+          f"({args.mp_context})", flush=True)
+    batch = run_batch(
+        jobs,
+        workers=workers,
+        mp_context=args.mp_context,
+        trace_dir=args.trace_dir,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        keep_placements=False,
+        progress=_print_progress,
+    )
+
+    ok, failed = batch.ok_jobs, batch.failed_jobs
+    print(f"batch summary   : {len(ok)}/{len(batch.jobs)} jobs ok, "
+          f"wall {batch.wall_seconds:.2f}s, "
+          f"speedup est {batch.speedup_estimate:.2f}x "
+          f"(serial est {batch.serial_seconds_estimate:.2f}s)")
+    if batch.best is not None:
+        print(f"best / median   : {batch.best_hpwl_m:.4f} m ({batch.best.name}) "
+              f"/ {batch.median_hpwl_m:.4f} m")
+    for job in failed:
+        print(f"failed          : {job.name}: {job.error_type}: {job.error}",
+              file=sys.stderr)
+
+    identical = None
+    if serial is not None:
+        identical = serial.hpwls == batch.hpwls and len(serial.ok_jobs) == len(ok)
+        speedup = (serial.wall_seconds / batch.wall_seconds
+                   if batch.wall_seconds > 0 else 1.0)
+        print(f"vs serial       : serial wall {serial.wall_seconds:.2f}s, "
+              f"measured speedup {speedup:.2f}x, "
+              f"per-job HPWLs {'bit-identical' if identical else 'MISMATCH'}")
+
+    summary = batch.summary()
+    if serial is not None:
+        summary["serial_wall_seconds"] = round(serial.wall_seconds, 6)
+        summary["measured_speedup"] = round(
+            serial.wall_seconds / batch.wall_seconds
+            if batch.wall_seconds > 0 else 1.0, 4
+        )
+        summary["hpwls_identical_to_serial"] = identical
+    if args.out:
+        import json as _json
+
+        out = Path(args.out)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            _json.dumps(summary, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.out}")
+    if args.record_bench:
+        from .observability.bench import merge_batch_record
+
+        merge_batch_record(args.record_bench, summary)
+        print(f"recorded batch run in {args.record_bench}")
+    if failed or identical is False:
+        return 1
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    import itertools
+    import json as _json
+
+    from .parallel import PlacementJob, run_batch
+
+    source = _batch_source(args)
+    try:
+        k_values = [float(k) for k in args.K.split(",") if k.strip()]
+        models = [m.strip() for m in args.net_models.split(",") if m.strip()]
+        if args.jobs is not None:
+            seeds = list(range(args.jobs))
+        else:
+            seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    except ValueError as exc:
+        raise SystemExit(f"malformed sweep argument: {exc}")
+    if not (k_values and models and seeds):
+        raise SystemExit("sweep needs at least one K, net model and seed")
+
+    jobs = []
+    for K, model, seed in itertools.product(k_values, models, seeds):
+        config = PlacerConfig(K=K, net_model=model).to_dict()
+        jobs.append(PlacementJob(
+            source=source,
+            seed=seed,
+            config=config,
+            name=f"{source}-K{K:g}-{model}-s{seed}",
+            legalize=args.legalize,
+            max_iterations=args.max_iterations,
+            scale=args.scale,
+            utilization=args.utilization,
+        ))
+    print(f"sweep {source}: {len(jobs)} jobs "
+          f"({len(k_values)} K x {len(models)} models x {len(seeds)} seeds)",
+          flush=True)
+    batch = run_batch(
+        jobs,
+        workers=args.workers,
+        mp_context=args.mp_context,
+        keep_placements=False,
+        progress=_print_progress,
+    )
+
+    rows = []
+    combos = []
+    for K, model in itertools.product(k_values, models):
+        combo = [j for j in batch.ok_jobs
+                 if j.name.startswith(f"{source}-K{K:g}-{model}-")]
+        if not combo:
+            rows.append([f"{K:g}", model, "-", "-", "-", "-"])
+            continue
+        hpwls = sorted(j.final_hpwl_m for j in combo)
+        median = hpwls[len(hpwls) // 2] if len(hpwls) % 2 else (
+            0.5 * (hpwls[len(hpwls) // 2 - 1] + hpwls[len(hpwls) // 2])
+        )
+        mean_it = sum(j.iterations for j in combo) / len(combo)
+        secs = sum(j.seconds for j in combo)
+        rows.append([f"{K:g}", model, f"{hpwls[0]:.4f}", f"{median:.4f}",
+                     f"{mean_it:.1f}", f"{secs:.2f}"])
+        combos.append({
+            "K": K, "net_model": model, "seeds": [j.seed for j in combo],
+            "best_hpwl_m": hpwls[0], "median_hpwl_m": median,
+            "mean_iterations": mean_it, "seconds": secs,
+        })
+    print(format_table(
+        ["K", "model", "best hpwl [m]", "median [m]", "mean iters", "cpu [s]"],
+        rows, title=f"sweep {source}"))
+    print(f"wall {batch.wall_seconds:.2f}s, {batch.workers} workers, "
+          f"speedup est {batch.speedup_estimate:.2f}x")
+    for job in batch.failed_jobs:
+        print(f"failed: {job.name}: {job.error_type}: {job.error}",
+              file=sys.stderr)
+    if args.out:
+        summary = batch.summary()
+        summary["combos"] = combos
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(
+            _json.dumps(summary, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.out}")
+    return 1 if batch.failed_jobs else 0
 
 
 def cmd_timing(args) -> int:
@@ -261,31 +493,79 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_place = sub.add_parser("place", help="run global placement")
     _add_design_args(p_place)
-    p_place.add_argument("--fast", action="store_true",
-                         help="fast mode (K = 1.0) instead of standard (K = 0.2)")
-    p_place.add_argument("--net-model", choices=["clique", "b2b"],
-                         default="clique")
+    _add_placer_args(p_place)
     p_place.add_argument("--legalize", action="store_true",
                          help="run final placement (Abacus + improvement)")
     p_place.add_argument("--out", help="basepath for .netlist/.placement output")
     p_place.add_argument("--svg", action="store_true",
                          help="also write an SVG rendering (needs --out)")
-    p_place.add_argument("--verbose", action="store_true")
     p_place.add_argument("--strict", action="store_true",
                          help="reject repairable netlist defects instead of "
                               "fixing them")
-    p_place.add_argument("--deadline", type=float, default=None,
-                         metavar="SECONDS",
-                         help="wall-clock budget; on expiry the best "
-                              "placement seen so far is returned")
-    p_place.add_argument("--checkpoint", metavar="PATH",
-                         help="periodically snapshot the run state here")
-    p_place.add_argument("--checkpoint-every", type=int, default=10,
-                         metavar="N", help="iterations between snapshots "
-                         "(default 10)")
-    p_place.add_argument("--resume", action="store_true",
-                         help="resume from --checkpoint if it exists")
     p_place.set_defaults(func=cmd_place)
+
+    p_batch = sub.add_parser(
+        "batch", help="run many jobs of one design over the batch engine"
+    )
+    _add_design_args(p_batch)
+    _add_placer_args(p_batch, checkpointing=False)
+    p_batch.add_argument("--jobs", type=int, default=8,
+                         help="number of jobs; seeds 0..N-1 (default 8)")
+    p_batch.add_argument("--seeds",
+                         help="explicit comma-separated seed list "
+                              "(overrides --jobs)")
+    p_batch.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: CPU count; "
+                              "0 = serial in-process)")
+    p_batch.add_argument("--mp-context", default="auto", dest="mp_context",
+                         choices=["auto", "fork", "spawn", "forkserver"],
+                         help="multiprocessing start method (default auto)")
+    p_batch.add_argument("--legalize", action="store_true",
+                         help="also legalize each job's placement")
+    p_batch.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS", help="per-job wall-clock budget")
+    p_batch.add_argument("--checkpoint-dir", metavar="DIR",
+                         dest="checkpoint_dir",
+                         help="per-job resumable snapshots under DIR")
+    p_batch.add_argument("--checkpoint-every", type=int, default=10,
+                         metavar="N", help="iterations between snapshots")
+    p_batch.add_argument("--resume", action="store_true",
+                         help="resume jobs from --checkpoint-dir snapshots")
+    p_batch.add_argument("--trace-dir", metavar="DIR", dest="trace_dir",
+                         help="write per-job JSONL traces under DIR")
+    p_batch.add_argument("--out", help="write the merged batch summary JSON here")
+    p_batch.add_argument("--compare-serial", action="store_true",
+                         dest="compare_serial",
+                         help="also run the batch serially and report the "
+                              "measured speedup + HPWL identity check")
+    p_batch.add_argument("--record-bench", metavar="PATH", dest="record_bench",
+                         help="merge the batch record into this "
+                              "BENCH_kraftwerk.json")
+    p_batch.set_defaults(func=cmd_batch)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="K/net-model/seed parameter sweep over the batch engine"
+    )
+    _add_design_args(p_sweep)
+    p_sweep.add_argument("--K", default="0.2,1.0",
+                         help="comma-separated K values (default 0.2,1.0)")
+    p_sweep.add_argument("--net-models", default="clique", dest="net_models",
+                         help="comma-separated net models (clique,b2b)")
+    p_sweep.add_argument("--seeds", default="0",
+                         help="comma-separated seed list (default 0)")
+    p_sweep.add_argument("--jobs", type=int, default=None,
+                         help="alternative to --seeds: use seeds 0..N-1")
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: CPU count; "
+                              "0 = serial in-process)")
+    p_sweep.add_argument("--mp-context", default="auto", dest="mp_context",
+                         choices=["auto", "fork", "spawn", "forkserver"])
+    p_sweep.add_argument("--legalize", action="store_true",
+                         help="also legalize each job's placement")
+    p_sweep.add_argument("--max-iterations", type=int, default=None,
+                         dest="max_iterations", metavar="N")
+    p_sweep.add_argument("--out", help="write the sweep summary JSON here")
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_timing = sub.add_parser("timing", help="longest-path analysis")
     _add_design_args(p_timing)

@@ -58,6 +58,10 @@ class PlacerCheckpoint:
     best: Optional[Dict] = None
     signature: str = ""
     elapsed_seconds: float = 0.0
+    # The run's PlacerConfig in its canonical to_dict() form, so a resumed
+    # or inspected checkpoint carries the exact knobs it was produced with.
+    # Optional: checkpoints written before this field existed load as None.
+    config: Optional[Dict] = None
 
 
 def save_checkpoint(path: PathLike, ckpt: PlacerCheckpoint) -> Path:
@@ -73,6 +77,7 @@ def save_checkpoint(path: PathLike, ckpt: PlacerCheckpoint) -> Path:
         "history": ckpt.history,
         "warm_keys": sorted(ckpt.warm),
         "best": None,
+        "config": ckpt.config,
     }
     arrays: Dict[str, np.ndarray] = {
         "x": np.asarray(ckpt.x, dtype=np.float64),
@@ -135,4 +140,5 @@ def load_checkpoint(path: PathLike) -> PlacerCheckpoint:
             best=best,
             signature=meta.get("signature", ""),
             elapsed_seconds=float(meta.get("elapsed_seconds", 0.0)),
+            config=meta.get("config"),
         )

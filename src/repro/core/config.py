@@ -9,11 +9,26 @@ parameter with a paper-faithful default.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional
 
 STANDARD_K = 0.2
 FAST_K = 1.0
+
+#: argparse destination -> config field, for :meth:`PlacerConfig.from_args`.
+#: Only destinations present on the namespace are consulted, so every CLI
+#: subcommand can register an arbitrary subset of these flags.
+_ARG_FIELDS = {
+    "net_model": "net_model",
+    "seed": "seed",
+    "verbose": "verbose",
+    "deadline": "deadline_seconds",
+    "checkpoint": "checkpoint_path",
+    "checkpoint_every": "checkpoint_every",
+    "density_bins": "density_bins",
+    "max_density_bins": "max_density_bins",
+    "max_iterations": "max_iterations",
+}
 
 
 @dataclass
@@ -201,3 +216,55 @@ class PlacerConfig:
     def fast(cls, **overrides) -> "PlacerConfig":
         """The paper's fast mode (K = 1.0), for floorplanning estimation."""
         return cls(K=FAST_K, **overrides)
+
+    # ------------------------------------------------------------------
+    # Serialization: one canonical dict form shared by the CLI, the batch
+    # engine's job specs, and checkpoint metadata.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of every knob; round-trips via :meth:`from_dict`.
+
+        Every field is a scalar (bool/int/float/str/None), so the result can
+        be embedded verbatim in checkpoint metadata, batch job specs, and
+        bench reports.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Optional[Mapping[str, Any]]) -> "PlacerConfig":
+        """Rebuild a config from its :meth:`to_dict` form.
+
+        ``None`` and ``{}`` yield the default config.  Unknown keys raise
+        ``ValueError`` (a typo in a job spec or a checkpoint written by a
+        newer version should fail loudly, not be silently dropped).
+        """
+        if not data:
+            return cls()
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown PlacerConfig keys: {unknown}")
+        return cls(**dict(data))
+
+    @classmethod
+    def from_args(cls, args, **overrides) -> "PlacerConfig":
+        """Build a config from an ``argparse`` namespace.
+
+        Consolidates the CLI's scattered placer flags (``--fast``,
+        ``--net-model``, ``--deadline``, ``--checkpoint``,
+        ``--checkpoint-every``, ``--seed``, ``--verbose``, …) into one
+        canonical mapping; flags absent from the namespace fall back to the
+        dataclass defaults, so every subcommand can expose a subset.
+        Keyword ``overrides`` win over namespace values.
+        """
+        kwargs: Dict[str, Any] = {}
+        if getattr(args, "fast", False):
+            kwargs["K"] = FAST_K
+        if getattr(args, "K", None) is not None:
+            kwargs["K"] = float(args.K)
+        for arg_name, field_name in _ARG_FIELDS.items():
+            value = getattr(args, arg_name, None)
+            if value is not None:
+                kwargs[field_name] = value
+        kwargs.update(overrides)
+        return cls(**kwargs)

@@ -49,9 +49,14 @@ ExtraDemandHook = Callable[[int, Placement], Optional[np.ndarray]]
 IterationHook = Callable[["IterationStats", Placement], None]
 
 
-@dataclass
+@dataclass(frozen=True)
 class IterationStats:
-    """Diagnostics for one placement transformation."""
+    """Diagnostics for one placement transformation.
+
+    Frozen and free of live solver state, so histories pickle cleanly and
+    cross process boundaries (the batch engine ships them back from worker
+    processes) and checkpoint round-trips cannot drift.
+    """
 
     iteration: int
     hpwl_m: float
@@ -69,9 +74,16 @@ class IterationStats:
     recovery_escalations: int = 0
 
 
-@dataclass
+@dataclass(frozen=True)
 class PlacementResult:
-    """Outcome of a placement run."""
+    """Outcome of a placement run.
+
+    A frozen value object: coordinates, accumulated forces, per-iteration
+    history and summary scalars only — no solver handles, open files or
+    telemetry recorders — so results pickle cleanly across process
+    boundaries (the parallel batch engine relies on this) and can be
+    cached or compared without aliasing surprises.
+    """
 
     placement: Placement
     converged: bool
@@ -343,6 +355,7 @@ class KraftwerkPlacer:
                             signature=signature,
                             elapsed_seconds=prior_seconds
                             + time.perf_counter() - t_start,
+                            config=cfg.to_dict(),
                         ),
                     )
                 if tel.enabled:
@@ -684,5 +697,20 @@ def place_circuit(
     config: Optional[PlacerConfig] = None,
     **place_kwargs,
 ) -> PlacementResult:
-    """Convenience one-call global placement."""
+    """Deprecated convenience wrapper; use :func:`repro.api.place` instead.
+
+    .. deprecated:: 1.1
+        :func:`repro.api.place` accepts a netlist, generated circuit or
+        Bookshelf path, derives a region when needed, and optionally
+        legalizes — this shim survives only for source compatibility and
+        will be removed in a future release.
+    """
+    import warnings
+
+    warnings.warn(
+        "place_circuit() is deprecated; use repro.api.place() "
+        "(or KraftwerkPlacer directly) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return KraftwerkPlacer(netlist, region, config).place(**place_kwargs)

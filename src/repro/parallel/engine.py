@@ -1,0 +1,289 @@
+"""The batch-execution engine: many placement jobs, one process pool.
+
+The placer's flow level is embarrassingly parallel — multi-start seeds,
+K-sweeps, benchmark suites — and each job is a deterministic pure function
+of its spec, so fanning jobs over a ``ProcessPoolExecutor`` preserves
+bit-identical per-job results at any worker count.  The engine adds the
+batch-level concerns:
+
+- **worker-count / start-method control** — ``workers=None`` uses the CPU
+  count, ``workers=0`` runs serially in-process (the determinism and
+  wall-clock baseline), ``mp_context`` picks ``fork``/``spawn``/
+  ``forkserver`` (``"auto"`` prefers ``fork`` where the OS offers it);
+- **failure isolation** — a job that diverges (``NumericalHealthError``),
+  rejects its input (``ValueError``) or dies any other way is returned as
+  a failed :class:`~repro.parallel.jobs.JobResult`; its siblings finish
+  unharmed, even across a broken pool;
+- **deadline / checkpoint integration** — per-job deadlines ride in each
+  job's config; ``checkpoint_dir`` gives every job a resumable
+  :mod:`repro.core.checkpoint` snapshot path, and ``resume=True`` picks
+  existing snapshots up, so an interrupted batch re-run skips finished
+  work bit-identically;
+- **streamed progress** — a ``progress(result, done, total)`` callback
+  fires in the parent as each job completes;
+- **merged observability** — every worker runs under a real telemetry
+  recorder; per-job JSONL traces land in ``trace_dir`` and per-phase
+  totals are merged into the batch summary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from .jobs import BatchResult, JobResult, PlacementJob
+
+ProgressCallback = Callable[[JobResult, int, int], None]
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """``None`` → CPU count; ``0`` → serial; ``N >= 1`` → pool size."""
+    if workers is None:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return int(workers)
+
+
+def resolve_mp_context(name: str = "auto") -> mp.context.BaseContext:
+    """Pick a multiprocessing start method.
+
+    ``"auto"`` prefers ``fork`` (cheap on Linux: workers inherit the loaded
+    numpy/scipy images) and falls back to ``spawn`` elsewhere.  Explicit
+    names are validated against what the platform offers.
+    """
+    methods = mp.get_all_start_methods()
+    if name == "auto":
+        name = "fork" if "fork" in methods else "spawn"
+    if name not in methods:
+        raise ValueError(
+            f"start method {name!r} not available here; choose from {methods}"
+        )
+    return mp.get_context(name)
+
+
+def _job_payload(
+    job: PlacementJob,
+    index: int,
+    trace_dir: Optional[Path],
+    keep_placements: bool,
+    resume: bool,
+) -> Dict[str, Any]:
+    """Everything the worker needs, as one picklable dict."""
+    name = job.display_name(index)
+    return {
+        "name": name,
+        "index": index,
+        "seed": int(job.seed),
+        "source": job.source,
+        "config": job.config_dict(),
+        "legalize": job.legalize,
+        "max_iterations": job.max_iterations,
+        "scale": job.scale,
+        "utilization": job.utilization,
+        "inject_faults": tuple(job.inject_faults),
+        "trace_path": str(trace_dir / f"{name}.trace.jsonl")
+        if trace_dir is not None
+        else None,
+        "keep_placements": keep_placements,
+        "resume": resume,
+    }
+
+
+def _execute_job(payload: Dict[str, Any]) -> JobResult:
+    """Run one job to completion inside the current process.
+
+    Top-level (pickle-importable) so it works under every start method.
+    Any exception is converted into a failed :class:`JobResult`; nothing a
+    single job does can take down the batch.
+    """
+    from contextlib import ExitStack
+
+    from ..api import place
+    from ..observability import Telemetry
+
+    name = payload["name"]
+    index = payload["index"]
+    seed = payload["seed"]
+    telemetry = Telemetry()
+    t0 = time.perf_counter()
+    try:
+        resume_from = None
+        ckpt_path = payload["config"].get("checkpoint_path")
+        if payload["resume"] and ckpt_path and Path(ckpt_path).exists():
+            resume_from = ckpt_path
+        with ExitStack() as stack:
+            for site, kwargs in payload["inject_faults"]:
+                stack.enter_context(_fault_context(site, **kwargs))
+            flow = place(
+                payload["source"],
+                config=payload["config"],
+                legalize=payload["legalize"],
+                seed=seed,
+                scale=payload["scale"],
+                utilization=payload["utilization"],
+                max_iterations=payload["max_iterations"],
+                telemetry=telemetry,
+                resume_from=resume_from,
+            )
+        trace_path = payload["trace_path"]
+        if trace_path is not None:
+            telemetry.write_trace(trace_path)
+        totals = telemetry.spans.totals()
+        phases = {
+            phase: float(data.get("seconds", 0.0))
+            for phase, data in totals.items()
+        }
+        return JobResult(
+            name=name,
+            index=index,
+            seed=seed,
+            ok=True,
+            hpwl_m=flow.hpwl_m,
+            legal_hpwl_m=flow.legal_hpwl_m,
+            final_hpwl_m=flow.final_hpwl_m,
+            iterations=flow.iterations,
+            converged=flow.converged,
+            timed_out=flow.timed_out,
+            seconds=time.perf_counter() - t0,
+            recovery_escalations=flow.recovery_escalations,
+            trace_path=trace_path,
+            phases=phases,
+            flow=flow if payload["keep_placements"] else None,
+        )
+    except Exception as exc:  # noqa: BLE001 — isolation is the contract
+        return JobResult(
+            name=name,
+            index=index,
+            seed=seed,
+            ok=False,
+            seconds=time.perf_counter() - t0,
+            error=str(exc),
+            error_type=type(exc).__name__,
+        )
+
+
+def _fault_context(site: str, **kwargs):
+    """Resolve a job-spec fault name to its repro.testing.faults installer."""
+    from ..testing import faults
+
+    factories = {
+        "corrupt_field": faults.corrupt_field,
+        "fail_cg": faults.fail_cg,
+        "burn_deadline": faults.burn_deadline,
+    }
+    if site not in factories:
+        raise ValueError(
+            f"unknown fault site {site!r}; choose from {sorted(factories)}"
+        )
+    return factories[site](**kwargs)
+
+
+def run_batch(
+    jobs: Sequence[PlacementJob],
+    *,
+    workers: Optional[int] = None,
+    mp_context: str = "auto",
+    trace_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[ProgressCallback] = None,
+    keep_placements: bool = True,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = 10,
+    resume: bool = False,
+) -> BatchResult:
+    """Run *jobs* concurrently and return the merged :class:`BatchResult`.
+
+    Results come back in job order regardless of completion order, so the
+    HPWL list of a batch is reproducible at any worker count.  See the
+    module docstring for the worker/isolation/checkpoint semantics.
+    """
+    jobs = list(jobs)
+    n_workers = resolve_workers(workers)
+    trace_path = Path(trace_dir) if trace_dir is not None else None
+    if trace_path is not None:
+        trace_path.mkdir(parents=True, exist_ok=True)
+    if checkpoint_dir is not None:
+        ckpt_dir = Path(checkpoint_dir)
+        ckpt_dir.mkdir(parents=True, exist_ok=True)
+        jobs = [
+            _with_checkpoint(job, i, ckpt_dir, checkpoint_every)
+            for i, job in enumerate(jobs)
+        ]
+    payloads = [
+        _job_payload(job, i, trace_path, keep_placements, resume)
+        for i, job in enumerate(jobs)
+    ]
+    total = len(payloads)
+    results: List[Optional[JobResult]] = [None] * total
+    t0 = time.perf_counter()
+
+    if n_workers == 0 or total <= 1:
+        context_name = "serial"
+        for i, payload in enumerate(payloads):
+            results[i] = _execute_job(payload)
+            if progress is not None:
+                progress(results[i], sum(r is not None for r in results), total)
+    else:
+        context = resolve_mp_context(mp_context)
+        context_name = context.get_start_method()
+        done_count = 0
+        with ProcessPoolExecutor(
+            max_workers=min(n_workers, total), mp_context=context
+        ) as pool:
+            pending = {
+                pool.submit(_execute_job, payload): i
+                for i, payload in enumerate(payloads)
+            }
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    i = pending.pop(future)
+                    try:
+                        result = future.result()
+                    except Exception as exc:  # pool/transport failure
+                        result = JobResult(
+                            name=payloads[i]["name"],
+                            index=i,
+                            seed=payloads[i]["seed"],
+                            ok=False,
+                            error=str(exc),
+                            error_type=type(exc).__name__,
+                        )
+                    results[i] = result
+                    done_count += 1
+                    if progress is not None:
+                        progress(result, done_count, total)
+
+    return BatchResult(
+        jobs=tuple(results),  # type: ignore[arg-type]
+        wall_seconds=time.perf_counter() - t0,
+        workers=n_workers,
+        mp_context=context_name,
+    )
+
+
+def _with_checkpoint(
+    job: PlacementJob, index: int, ckpt_dir: Path, every: int
+) -> PlacementJob:
+    """Give *job* a per-job checkpoint path under *ckpt_dir* (config copy)."""
+    from dataclasses import replace
+
+    config = job.config_dict()
+    if not config.get("checkpoint_path"):
+        config["checkpoint_path"] = str(
+            ckpt_dir / f"{job.display_name(index)}.ckpt.npz"
+        )
+    config["checkpoint_every"] = int(every)
+    return replace(job, config=config)
+
+
+__all__ = [
+    "ProgressCallback",
+    "resolve_mp_context",
+    "resolve_workers",
+    "run_batch",
+]

@@ -13,9 +13,13 @@ from repro import (
     hpwl_meters,
     overlap_ratio,
 )
-from repro.core import place_circuit
 from repro.core.forces import ForceCalculator
 from repro.core.linearization import linearization_factors
+
+
+def place_circuit(netlist, region, config=None, **place_kwargs):
+    """Local stand-in for the deprecated repro.core.place_circuit shim."""
+    return KraftwerkPlacer(netlist, region, config).place(**place_kwargs)
 
 
 class TestConfig:

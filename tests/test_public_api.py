@@ -7,6 +7,8 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.api",
+    "repro.parallel",
     "repro.core",
     "repro.netlist",
     "repro.geometry",
@@ -62,3 +64,60 @@ def test_no_private_leaks():
         module = importlib.import_module(package)
         for name in module.__all__:
             assert not name.startswith("_"), f"{package} exports private {name}"
+
+
+class TestFacadeStability:
+    """The repro.api facade is the stable entry point: its signature is a
+    compatibility contract, so a keyword rename or a positionalized flag
+    must fail loudly here before it reaches downstream callers."""
+
+    def test_place_signature(self):
+        from repro.api import place
+
+        sig = inspect.signature(place)
+        params = list(sig.parameters.values())
+        assert params[0].name == "source"
+        assert params[0].kind is inspect.Parameter.POSITIONAL_OR_KEYWORD
+        keyword_only = {
+            p.name: p.default for p in params[1:]
+        }
+        assert all(
+            p.kind is inspect.Parameter.KEYWORD_ONLY for p in params[1:]
+        ), "everything after source must be keyword-only"
+        assert keyword_only["config"] is None
+        assert keyword_only["legalize"] is True
+        assert keyword_only["seed"] == 0
+
+    def test_place_many_signature(self):
+        from repro.api import place_many
+
+        sig = inspect.signature(place_many)
+        params = list(sig.parameters.values())
+        assert params[0].name == "sources"
+        keyword_only = {p.name: p.default for p in params[1:]}
+        assert all(
+            p.kind is inspect.Parameter.KEYWORD_ONLY for p in params[1:]
+        )
+        assert keyword_only["seeds"] is None
+        assert keyword_only["workers"] is None
+        assert keyword_only["mp_context"] == "auto"
+
+    def test_facade_exported_at_top_level(self):
+        import repro
+
+        assert repro.place is importlib.import_module("repro.api").place
+        for name in ("place", "place_many", "FlowResult", "PlacementJob",
+                     "run_batch", "BatchResult"):
+            assert name in repro.__all__
+
+    def test_place_circuit_shim_deprecated(self):
+        import repro
+        from repro.netlist import GeneratorSpec, generate_circuit
+
+        circuit = generate_circuit(
+            GeneratorSpec(name="tiny", seed=0, num_cells=60, num_rows=4)
+        )
+        with pytest.deprecated_call(match="repro.api.place"):
+            repro.place_circuit(
+                circuit.netlist, circuit.region, max_iterations=1
+            )
