@@ -107,16 +107,14 @@ def resolve_source(
             resolved = region or region_for_netlist(netlist, utilization)
             return netlist, resolved, netlist.name
         name = str(source)
-        # Bench sizes first: they are the canonical tiny/small/medium
-        # circuits the regression harness and the batch smoke both use.
-        from .observability.bench import BENCH_SIZES
+        # Bench sizes first: they are the canonical generator circuits
+        # (tiny … huge) the regression harness and the batch smoke use.
+        from .netlist.generator import BENCH_SIZES, bench_spec
 
         if name in BENCH_SIZES:
-            from .netlist import GeneratorSpec, generate_circuit
+            from .netlist import generate_circuit
 
-            circuit = generate_circuit(
-                GeneratorSpec(name=name, seed=0, **BENCH_SIZES[name])
-            )
+            circuit = generate_circuit(bench_spec(name))
             return circuit.netlist, region or circuit.region, name
         from .netlist.benchmarks import PROFILES_BY_NAME
 
@@ -222,10 +220,28 @@ def place(
     cfg = dc_replace(config, seed=seed) if config is not None else PlacerConfig(
         seed=seed
     )
-    placer = KraftwerkPlacer(netlist, resolved_region, cfg, telemetry=telemetry)
-    result: PlacementResult = placer.place(
-        max_iterations=max_iterations, resume_from=resume_from
-    )
+    if cfg.multilevel_levels > 0:
+        from .core.multilevel import MultilevelPlacer
+
+        ml = MultilevelPlacer(
+            netlist,
+            resolved_region,
+            cfg,
+            refine_iterations=max_iterations,
+            telemetry=telemetry,
+        ).place(resume_from=resume_from)
+        result: PlacementResult = dc_replace(
+            ml.refine_result,
+            iterations=ml.total_iterations,
+            seconds=ml.seconds,
+        )
+    else:
+        placer = KraftwerkPlacer(
+            netlist, resolved_region, cfg, telemetry=telemetry
+        )
+        result = placer.place(
+            max_iterations=max_iterations, resume_from=resume_from
+        )
     legal: Optional[Placement] = None
     legal_hpwl: Optional[float] = None
     seconds = result.seconds

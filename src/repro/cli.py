@@ -100,6 +100,13 @@ def _add_placer_args(
     parser.add_argument("--max-iterations", type=int, default=None,
                         dest="max_iterations", metavar="N",
                         help="cap on placement transformations")
+    parser.add_argument("--multilevel", type=int, default=None, metavar="N",
+                        help="coarsening levels for the multilevel V-cycle "
+                             "(default 0 = flat placement)")
+    parser.add_argument("--multilevel-refine", type=int, default=None,
+                        dest="multilevel_refine", metavar="N",
+                        help="refinement transformations per V-cycle level "
+                             "(default 12)")
     parser.add_argument("--verbose", action="store_true")
     if checkpointing:
         parser.add_argument("--deadline", type=float, default=None,
@@ -176,16 +183,32 @@ def cmd_place(args) -> int:
             print(f"no checkpoint at {args.checkpoint}; starting fresh",
                   file=sys.stderr)
     t0 = time.perf_counter()
-    result = KraftwerkPlacer(netlist, region, config).place(
-        resume_from=resume_from
-    )
+    if config.multilevel_levels > 0:
+        from .core.multilevel import MultilevelPlacer
+
+        ml = MultilevelPlacer(netlist, region, config).place(
+            resume_from=resume_from
+        )
+        result = ml.refine_result
+        iterations = ml.total_iterations
+        if ml.coarse_results:
+            coarsest = ml.coarse_results[0].placement.netlist.num_movable
+            print(f"multilevel      : {ml.levels} coarsening levels, "
+                  f"coarsest {coarsest} cells")
+        else:
+            print("multilevel      : netlist too small to coarsen")
+    else:
+        result = KraftwerkPlacer(netlist, region, config).place(
+            resume_from=resume_from
+        )
+        iterations = result.iterations
     placement = result.placement
     status = f"converged={result.converged}"
     if result.timed_out:
         status += ", deadline hit: returning best placement seen"
     if result.recovery_escalations:
         status += f", {result.recovery_escalations} solver recovery escalations"
-    print(f"global placement: {result.hpwl_m:.4f} m in {result.iterations} "
+    print(f"global placement: {result.hpwl_m:.4f} m in {iterations} "
           f"transformations ({time.perf_counter() - t0:.1f}s, {status})")
     if args.legalize:
         placement = final_placement(placement, region)
@@ -453,14 +476,23 @@ def cmd_bench(args) -> int:
     )
     for run in report["runs"]:
         phases = run["phases"]
+        shares = run["phase_shares"]["shares"]
         hot = sorted(phases.items(), key=lambda kv: -kv[1])[:3]
-        hot_str = ", ".join(f"{name} {sec:.3f}s" for name, sec in hot)
+        hot_str = ", ".join(
+            f"{name} {sec:.3f}s ({shares[name]:.0%})" for name, sec in hot
+        )
         det = "ok" if run["determinism"]["deterministic"] else "MISMATCH"
         print(
             f"bench {run['size']:<6}: hpwl {run['final_hpwl_m']:.4f} m, "
             f"{run['iterations']} iterations, determinism {det}"
         )
         print(f"  hot phases: {hot_str}")
+        bottleneck = run["phase_shares"]["bottleneck"]
+        if bottleneck is not None:
+            print(
+                f"  BOTTLENECK: {bottleneck} takes "
+                f"{shares[bottleneck]:.0%} of phase time"
+            )
     print(f"wrote {args.out}")
     if args.trace:
         print(f"wrote trace {args.trace}")
@@ -588,7 +620,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated sizes or 'all' "
                               "(default: all of tiny,small,medium)")
     p_bench.add_argument("--size", default=None,
-                         choices=["tiny", "small", "medium", "all"],
+                         choices=["tiny", "small", "medium", "large",
+                                  "huge", "all"],
                          help="single size (legacy alias for --sizes)")
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--out", default="BENCH_kraftwerk.json",

@@ -28,6 +28,8 @@ _ARG_FIELDS = {
     "density_bins": "density_bins",
     "max_density_bins": "max_density_bins",
     "max_iterations": "max_iterations",
+    "multilevel": "multilevel_levels",
+    "multilevel_refine": "multilevel_refine_iterations",
 }
 
 
@@ -149,6 +151,18 @@ class PlacerConfig:
         :mod:`repro.core.checkpoint`.
     checkpoint_every:
         Snapshot period in transformations.
+    multilevel_levels:
+        Number of clustering (coarsening) levels for the multilevel V-cycle
+        (:class:`~repro.core.multilevel.MultilevelPlacer`).  ``0`` (the
+        default) places flat; ``N >= 1`` coarsens the netlist ``N`` times,
+        places the coarsest level with the full iteration budget and
+        refines each finer level with ``multilevel_refine_iterations``
+        transformations.  :func:`repro.api.place` and the CLI route through
+        the V-cycle whenever this is positive.
+    multilevel_refine_iterations:
+        Transformation budget for each refinement stage of the V-cycle
+        (every level that starts from an expanded coarser placement,
+        including the final full-netlist stage).
     """
 
     K: float = STANDARD_K
@@ -179,6 +193,8 @@ class PlacerConfig:
     deadline_seconds: Optional[float] = None
     checkpoint_path: Optional[str] = None
     checkpoint_every: int = 10
+    multilevel_levels: int = 0
+    multilevel_refine_iterations: int = 12
 
     def __post_init__(self) -> None:
         if self.K <= 0:
@@ -206,6 +222,10 @@ class PlacerConfig:
             raise ValueError("checkpoint_every must be at least 1")
         if self.step_limit_factor <= 0:
             raise ValueError("step_limit_factor must be positive")
+        if self.multilevel_levels < 0:
+            raise ValueError("multilevel_levels must be >= 0 (0 = flat)")
+        if self.multilevel_refine_iterations < 1:
+            raise ValueError("multilevel_refine_iterations must be >= 1")
 
     @classmethod
     def standard(cls, **overrides) -> "PlacerConfig":

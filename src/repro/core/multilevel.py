@@ -1,22 +1,38 @@
-"""Two-level (multilevel) placement: cluster, place coarse, expand, refine.
+"""Multilevel (V-cycle) placement: coarsen repeatedly, place the coarsest
+level with the full iteration budget, then expand and refine level by level.
 
-A speed extension beyond the paper: heavy-edge clustering halves the
-netlist once or twice, the force-directed placer runs on the coarse netlist
-(cheap), the coarse placement expands back (members at their cluster
-center), and a short refinement run of the full netlist separates members
-and polishes wire length.  Useful for the largest suite circuits and for
-fast floorplanning estimates.
+A speed extension beyond the paper: heavy-edge clustering shrinks the
+netlist ~2-5x per level, the force-directed placer runs from scratch only on
+the coarsest (cheapest) netlist, and every finer level starts from the
+expanded placement of the level above — so it needs only a short refinement
+run (``refine_iterations`` transformations) to separate cluster members and
+polish wire length.  This is what makes 100k+-cell circuits placeable in
+reasonable wall-clock (see ``docs/MULTILEVEL.md``).
+
+The flow is reachable three ways:
+
+- directly: ``MultilevelPlacer(netlist, region, config, levels=2).place()``;
+- via config: ``PlacerConfig(multilevel_levels=2)`` makes
+  :func:`repro.api.place` route through this class;
+- via CLI: ``repro place --multilevel 2``.
+
+Checkpointing: only the final full-netlist refinement stage writes
+checkpoints (coarse stages run with ``checkpoint_path=None``), so a
+checkpoint file always describes the original netlist and
+``place(resume_from=...)`` can skip the whole down-up traversal and resume
+the refinement directly.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from typing import List, Optional
 
 from ..netlist import Netlist, Placement
 from ..netlist.clustering import Clustering, cluster_netlist
 from ..geometry import PlacementRegion
+from ..observability import NULL_TELEMETRY
 from .config import PlacerConfig
 from .placer import KraftwerkPlacer, PlacementResult
 
@@ -35,51 +51,110 @@ class MultilevelResult:
 
         return hpwl_meters(self.placement)
 
+    @property
+    def total_iterations(self) -> int:
+        """Transformations across every level of the V-cycle."""
+        return self.refine_result.iterations + sum(
+            r.iterations for r in self.coarse_results
+        )
+
 
 class MultilevelPlacer:
-    """Cluster -> place -> expand -> refine."""
+    """Cluster down, place the coarsest, expand and refine back up.
+
+    ``levels``/``refine_iterations`` default to the config's
+    ``multilevel_levels`` (floored at 1 — constructing this class *is* the
+    request for a multilevel run) and ``multilevel_refine_iterations``.
+    """
 
     def __init__(
         self,
         netlist: Netlist,
         region: PlacementRegion,
         config: Optional[PlacerConfig] = None,
-        levels: int = 1,
-        refine_iterations: int = 12,
+        levels: Optional[int] = None,
+        refine_iterations: Optional[int] = None,
+        telemetry=None,
     ):
+        self.config = config or PlacerConfig()
+        if levels is None:
+            levels = max(1, self.config.multilevel_levels)
         if levels < 1:
             raise ValueError("need at least one coarsening level")
+        if refine_iterations is None:
+            refine_iterations = self.config.multilevel_refine_iterations
         self.netlist = netlist
         self.region = region
-        self.config = config or PlacerConfig()
         self.levels = levels
         self.refine_iterations = refine_iterations
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
-    def place(self) -> MultilevelResult:
+    def place(self, resume_from=None) -> MultilevelResult:
+        """Run the V-cycle; ``resume_from`` (a checkpoint of the original
+        netlist) skips the coarse traversal and resumes the refinement."""
         t0 = time.perf_counter()
-        clusterings: List[Clustering] = []
-        current = self.netlist
-        for _ in range(self.levels):
-            clustering = cluster_netlist(current)
-            if clustering.coarse.num_movable >= current.num_movable:
-                break  # nothing merged; stop coarsening
-            clusterings.append(clustering)
-            current = clustering.coarse
+        telemetry = self.telemetry
+        # Coarse stages never checkpoint: a snapshot must always describe
+        # the original netlist so resume paths need no cluster state.
+        coarse_cfg = dc_replace(self.config, checkpoint_path=None)
 
+        clusterings: List[Clustering] = []
         coarse_results: List[PlacementResult] = []
         placement: Optional[Placement] = None
-        # Place the coarsest level from scratch, then expand downward.
-        for level in range(len(clusterings) - 1, -1, -1):
-            clustering = clusterings[level]
-            placer = KraftwerkPlacer(clustering.coarse, self.region, self.config)
-            result = placer.place(initial=placement)
-            coarse_results.append(result)
-            placement = clustering.expand(result.placement)
+        if resume_from is None:
+            with telemetry.span("coarsen") as span:
+                current = self.netlist
+                for _ in range(self.levels):
+                    clustering = cluster_netlist(current)
+                    if clustering.coarse.num_movable >= current.num_movable:
+                        break  # nothing merged; stop coarsening
+                    clusterings.append(clustering)
+                    current = clustering.coarse
+                span.add("levels", len(clusterings))
+                if clusterings:
+                    span.add(
+                        "coarsest_cells", clusterings[-1].coarse.num_movable
+                    )
 
-        refine_placer = KraftwerkPlacer(self.netlist, self.region, self.config)
-        refine = refine_placer.place(
-            initial=placement, max_iterations=self.refine_iterations
-        )
+            # Downward pass done; now place bottom-up.  The coarsest level
+            # runs with the full iteration budget (it is the only level
+            # placed from scratch); every finer level only refines the
+            # expanded placement of the level above.
+            for depth, clustering in enumerate(reversed(clusterings)):
+                level = len(clusterings) - depth  # coarsest = highest
+                with telemetry.span(f"level-{level}") as span:
+                    placer = KraftwerkPlacer(
+                        clustering.coarse, self.region, coarse_cfg,
+                        telemetry=telemetry,
+                    )
+                    result = placer.place(
+                        initial=placement,
+                        max_iterations=(
+                            None if placement is None
+                            else self.refine_iterations
+                        ),
+                    )
+                    coarse_results.append(result)
+                    placement = clustering.expand(result.placement)
+                    span.add("cells", clustering.coarse.num_movable)
+                    span.add("iterations", result.iterations)
+                    span.add("hpwl_m", result.hpwl_m)
+
+        with telemetry.span("level-0") as span:
+            refine_placer = KraftwerkPlacer(
+                self.netlist, self.region, self.config, telemetry=telemetry
+            )
+            refine = refine_placer.place(
+                initial=placement,
+                max_iterations=(
+                    None if resume_from is not None
+                    else self.refine_iterations
+                ),
+                resume_from=resume_from,
+            )
+            span.add("cells", self.netlist.num_movable)
+            span.add("iterations", refine.iterations)
+            span.add("hpwl_m", refine.hpwl_m)
         return MultilevelResult(
             placement=refine.placement,
             coarse_results=coarse_results,

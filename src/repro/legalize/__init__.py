@@ -10,14 +10,33 @@ from .abacus import AbacusLegalizer, LegalizationResult
 from .greedy import TetrisLegalizer
 from .detailed import DetailedImprover, ImprovementResult
 from .domino import DominoImprover
+from .extents import MoveEvaluator
+from .improver import VectorImprover
+from .vector import VectorAbacusLegalizer
+
+#: legalizer name -> class.  ``abacus`` is the vectorized engine;
+#: ``abacus-scalar`` is the original per-cluster implementation, kept as
+#: the bit-identical correctness oracle (``tests/test_legalize_vector.py``).
+LEGALIZERS = {
+    "abacus": VectorAbacusLegalizer,
+    "abacus-scalar": AbacusLegalizer,
+    "tetris": TetrisLegalizer,
+}
+
+#: improver name -> class (``none`` skips improvement entirely).
+IMPROVERS = {
+    "vector": VectorImprover,
+    "scalar": DetailedImprover,
+}
 
 
 def final_placement(
     placement: Placement,
     region: PlacementRegion,
     obstacles: Sequence[Rect] = (),
-    improver_passes: int = 3,
+    improver_passes: int = 7,
     legalizer: str = "abacus",
+    improver: str = "vector",
     use_domino: bool = False,
     telemetry=NULL_TELEMETRY,
 ) -> Placement:
@@ -25,31 +44,40 @@ def final_placement(
 
     This is the "final placement step" the paper applies after global
     placement (Section 6.1 uses Domino): Abacus-style legalization followed
-    by greedy exact-delta swap improvement, optionally topped by the
+    by greedy exact-delta improvement, optionally topped by the
     Domino-style window assignment (``use_domino=True``) which untangles
     permutations beyond the reach of pairwise swaps.
+
+    ``legalizer`` selects the snap engine (``abacus`` — the vectorized
+    default, ``abacus-scalar`` — the scalar oracle, or ``tetris``);
+    ``improver`` selects the polish stage (``vector`` — batched exact
+    deltas, ``scalar`` — the reference implementation, or ``none``).
     """
+    if legalizer not in LEGALIZERS:
+        raise ValueError(
+            f"unknown legalizer {legalizer!r}; choose from {sorted(LEGALIZERS)}"
+        )
+    if improver != "none" and improver not in IMPROVERS:
+        raise ValueError(
+            f"unknown improver {improver!r}; choose from "
+            f"{sorted(IMPROVERS) + ['none']}"
+        )
     with telemetry.span("legalize") as leg_span:
         with telemetry.span("snap"):
-            if legalizer == "abacus":
-                legal = AbacusLegalizer(region, obstacles=obstacles).legalize(
-                    placement
-                )
-            elif legalizer == "tetris":
-                legal = TetrisLegalizer(region, obstacles=obstacles).legalize(
-                    placement
-                )
-            else:
-                raise ValueError(f"unknown legalizer {legalizer!r}")
+            legal = LEGALIZERS[legalizer](region, obstacles=obstacles).legalize(
+                placement
+            )
         if not legal.success:
             raise RuntimeError(
                 f"legalization failed for {len(legal.failed_cells)} cells"
             )
-        with telemetry.span("improve"):
-            improved = DetailedImprover(
-                region, max_passes=improver_passes
-            ).improve(legal.placement)
-            result = improved.placement
+        result = legal.placement
+        if improver != "none":
+            with telemetry.span("improve"):
+                improved = IMPROVERS[improver](
+                    region, max_passes=improver_passes, obstacles=obstacles
+                ).improve(result)
+                result = improved.placement
         if use_domino:
             with telemetry.span("domino"):
                 result = DominoImprover(
@@ -64,10 +92,15 @@ __all__ = [
     "build_segments",
     "total_capacity",
     "AbacusLegalizer",
+    "VectorAbacusLegalizer",
     "TetrisLegalizer",
     "LegalizationResult",
     "DetailedImprover",
+    "VectorImprover",
     "DominoImprover",
+    "MoveEvaluator",
     "ImprovementResult",
+    "LEGALIZERS",
+    "IMPROVERS",
     "final_placement",
 ]

@@ -1,0 +1,297 @@
+"""Vectorized Abacus legalization engine.
+
+Same algorithm as the scalar :class:`~repro.legalize.abacus.AbacusLegalizer`
+— left-to-right sweep, candidate rows by vertical distance, cluster
+collapsing per segment — re-built on flat array state so it scales to
+100k+-cell netlists:
+
+- **Spatial row index**: candidate rows come from a two-pointer expansion
+  around the cell's y (nearest row first, ties to the lower row), instead
+  of an ``argsort`` over every segment per cell.  The expansion stops as
+  soon as the monotonically growing y-cost alone exceeds the best known
+  total cost — an exact prune, since cost >= y-cost.
+- **Incremental trial costs**: a trial append simulates the cluster
+  collapse backwards from the segment tail in O(#merges) instead of
+  copying the whole cluster list.
+- **Flat cluster state**: each segment keeps parallel float lists
+  ``(x, e, q, w)`` plus each cluster's start into its placed-cell list;
+  final positions are reconstructed in one vectorized pass per segment.
+
+The sweep itself (cells sorted by desired left edge) and every tie-breaking
+rule match the scalar implementation bit for bit; the cross-check suite
+(``tests/test_legalize_vector.py``) pins vectorized-vs-scalar positions on
+randomized instances.  The scalar Abacus stays in the tree as the
+correctness oracle.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry import PlacementRegion, Rect
+from ..netlist import CellKind, Placement
+from .abacus import LegalizationResult
+from .segments import Segment, build_segments
+
+_INF = float("inf")
+
+
+class RowIndex:
+    """Segments grouped by row, bottom-up, for nearest-row search."""
+
+    def __init__(self, segments: Sequence[Segment]):
+        # build_segments emits rows bottom-up and segments left-to-right,
+        # so grouping by center_y preserves both orders.
+        self.segments = list(segments)
+        ys: List[float] = []
+        groups: List[List[int]] = []
+        for si, seg in enumerate(self.segments):
+            if not ys or seg.center_y != ys[-1]:
+                ys.append(seg.center_y)
+                groups.append([])
+            groups[-1].append(si)
+        self.row_y = np.array(ys)
+        self.row_segments = groups
+
+    def rows_by_distance(self, y: float):
+        """Row indices in increasing |row_y - y|, ties to the lower row."""
+        ys = self.row_y
+        n = len(ys)
+        hi = int(np.searchsorted(ys, y))
+        lo = hi - 1
+        while lo >= 0 or hi < n:
+            if lo < 0:
+                yield hi
+                hi += 1
+            elif hi >= n:
+                yield lo
+                lo -= 1
+            elif y - ys[lo] <= ys[hi] - y:
+                yield lo
+                lo -= 1
+            else:
+                yield hi
+                hi += 1
+
+
+class _SegState:
+    """Flat cluster state of one segment (lists, not dataclasses)."""
+
+    __slots__ = ("xlo", "xhi", "center_y", "width", "used", "cx", "ce", "cq",
+                 "cw", "starts", "cells", "widths", "offsets")
+
+    def __init__(self, segment: Segment):
+        self.xlo = segment.xlo
+        self.xhi = segment.xhi
+        self.center_y = segment.center_y
+        self.width = segment.width
+        # Accumulated used width; free space is computed as one subtraction
+        # (``width - used``) to match the scalar oracle's rounding exactly.
+        self.used = 0.0
+        # Parallel per-cluster arrays: left edge, weight, q-sum, width.
+        self.cx: List[float] = []
+        self.ce: List[float] = []
+        self.cq: List[float] = []
+        self.cw: List[float] = []
+        # starts[i] = index into `cells` of cluster i's first cell.
+        self.starts: List[int] = []
+        # Placed cells in append order (clusters are contiguous runs),
+        # with each cell's offset from its cluster's left edge.  Offsets
+        # are updated at merge time with the scalar's exact arithmetic
+        # (``prev.w + off``) so final coordinates stay bit-identical.
+        self.cells: List[int] = []
+        self.widths: List[float] = []
+        self.offsets: List[float] = []
+
+    def trial(self, width: float, weight: float, x_desired: float,
+              y_cost: float) -> float:
+        """Cost of appending, simulated backwards in O(#merges)."""
+        if width > self.width - self.used + 1e-9:
+            return _INF
+        xlo, xhi = self.xlo, self.xhi
+        e = weight
+        q = weight * x_desired
+        w = width
+        x = q / e
+        if x < xlo:
+            x = xlo
+        if x > xhi - w:
+            x = xhi - w
+        cx, ce, cq, cw = self.cx, self.ce, self.cq, self.cw
+        k = len(cx) - 1
+        while k >= 0 and cx[k] + cw[k] > x + 1e-12:
+            q = cq[k] + q - e * cw[k]
+            e += ce[k]
+            w += cw[k]
+            x = q / e
+            if x < xlo:
+                x = xlo
+            if x > xhi - w:
+                x = xhi - w
+            k -= 1
+        new_cell_x = x + w - width
+        # ``** 2`` (not ``d * d``) to stay bit-identical with the scalar
+        # oracle on near-tie cost comparisons.
+        return weight * (new_cell_x - x_desired) ** 2 + y_cost
+
+    def append(self, cell: int, width: float, weight: float,
+               x_desired: float) -> None:
+        """Abacus PlaceRow step: append the cell, collapse clusters."""
+        xlo, xhi = self.xlo, self.xhi
+        cx, ce, cq, cw = self.cx, self.ce, self.cq, self.cw
+        offsets = self.offsets
+        start = len(self.cells)
+        self.cells.append(cell)
+        self.widths.append(width)
+        offsets.append(0.0)
+        e = weight
+        q = weight * x_desired
+        w = width
+        x = q / e
+        if x < xlo:
+            x = xlo
+        if x > xhi - w:
+            x = xhi - w
+        while cx and cx[-1] + cw[-1] > x + 1e-12:
+            pw = cw.pop()
+            # The merging cluster's cells shift right by the previous
+            # cluster's width — ``pw + off``, the scalar's exact order.
+            for j in range(start, len(offsets)):
+                offsets[j] = pw + offsets[j]
+            # Scalar append uses ``prev.q += c.q - c.e * prev.w`` — i.e.
+            # ``pq + (q - e*pw)`` — a *different* association from its own
+            # trial path ``(pq + q) - e*pw``.  Match each path exactly.
+            q = cq.pop() + (q - e * pw)
+            e += ce.pop()
+            w += pw
+            cx.pop()
+            start = self.starts.pop()
+            x = q / e
+            if x < xlo:
+                x = xlo
+            if x > xhi - w:
+                x = xhi - w
+        cx.append(x)
+        ce.append(e)
+        cq.append(q)
+        cw.append(w)
+        self.starts.append(start)
+        self.used += width
+
+
+class VectorAbacusLegalizer:
+    """Row legalizer: scalar-Abacus semantics on flat array state."""
+
+    def __init__(
+        self,
+        region: PlacementRegion,
+        obstacles: Sequence[Rect] = (),
+        row_search_radius: int = 6,
+    ):
+        self.region = region
+        self.obstacles = list(obstacles)
+        self.row_search_radius = row_search_radius
+        self.segments = build_segments(region, self.obstacles)
+        if not self.segments:
+            raise ValueError("no free segments to legalize into")
+        self.index = RowIndex(self.segments)
+
+    def legalize(self, placement: Placement) -> LegalizationResult:
+        nl = placement.netlist
+        states = [_SegState(seg) for seg in self.segments]
+        row_y = self.index.row_y
+        row_segments = self.index.row_segments
+        radius = self.row_search_radius
+
+        movable = nl.movable_indices
+        if movable.size:
+            std_mask = np.array(
+                [nl.cells[int(i)].kind is not CellKind.BLOCK for i in movable],
+                dtype=bool,
+            )
+            std = movable[std_mask]
+        else:
+            std = movable
+        widths = nl.widths[std]
+        weights = nl.areas[std]
+        x_desired = placement.x[std] - widths / 2.0
+        y_desired = placement.y[std]
+        order = np.argsort(x_desired, kind="stable")
+
+        failed: List[int] = []
+        # tolist() yields Python floats, so all sweep arithmetic below uses
+        # CPython semantics — NumPy's scalar ``**`` rounds differently in
+        # the last bit, which would break bit-identity with the scalar
+        # oracle on near-tie row choices.
+        ys = row_y.tolist()
+        nrows = len(ys)
+        for i, width, weight, xd, yd in zip(
+            std[order].tolist(),
+            widths[order].tolist(),
+            weights[order].tolist(),
+            x_desired[order].tolist(),
+            y_desired[order].tolist(),
+        ):
+            best_cost = _INF
+            best: Optional[int] = None
+            rows_tried = 0
+            # Inlined two-pointer nearest-row expansion (ties to the lower
+            # row) — a generator here costs more than the whole trial.
+            hi = bisect_left(ys, yd)
+            lo = hi - 1
+            while lo >= 0 or hi < nrows:
+                if lo < 0:
+                    r = hi
+                    hi += 1
+                elif hi >= nrows:
+                    r = lo
+                    lo -= 1
+                elif yd - ys[lo] <= ys[hi] - yd:
+                    r = lo
+                    lo -= 1
+                else:
+                    r = hi
+                    hi += 1
+                rows_tried += 1
+                if rows_tried > radius and best is not None:
+                    break
+                y_cost = weight * (ys[r] - yd) ** 2
+                if best is not None and y_cost >= best_cost:
+                    # Rows only get farther from here on; cost >= y-cost.
+                    break
+                for si in row_segments[r]:
+                    if best is not None and y_cost >= best_cost:
+                        break
+                    cost = states[si].trial(width, weight, xd, y_cost)
+                    if cost < best_cost:
+                        best_cost = cost
+                        best = si
+            if best is None:
+                failed.append(i)
+                continue
+            states[best].append(i, width, weight, xd)
+
+        out = placement.copy()
+        for state in states:
+            if not state.cells:
+                continue
+            cells = np.array(state.cells, dtype=np.int64)
+            cell_w = np.array(state.widths)
+            offs = np.array(state.offsets)
+            starts = np.array(state.starts, dtype=np.int64)
+            counts = np.diff(np.concatenate((starts, [len(state.cells)])))
+            cluster_x = np.repeat(np.array(state.cx), counts)
+            # (c.x + off) + w/2 — the scalar's exact evaluation order.
+            out.x[cells] = (cluster_x + offs) + cell_w / 2.0
+            out.y[cells] = state.center_y
+        out.reset_fixed()
+        moved = out.displacement_from(placement)
+        return LegalizationResult(
+            placement=out,
+            mean_displacement=float(moved[movable].mean()) if movable.size else 0.0,
+            max_displacement=float(moved[movable].max()) if movable.size else 0.0,
+            failed_cells=failed,
+        )

@@ -6,8 +6,10 @@ from .netlist import Netlist
 from .builder import NetlistBuilder
 from .placement import Placement
 from .generator import (
+    BENCH_SIZES,
     GeneratedCircuit,
     GeneratorSpec,
+    bench_spec,
     generate_circuit,
     ROW_HEIGHT,
     SITE_WIDTH,
@@ -43,8 +45,10 @@ __all__ = [
     "Netlist",
     "NetlistBuilder",
     "Placement",
+    "BENCH_SIZES",
     "GeneratedCircuit",
     "GeneratorSpec",
+    "bench_spec",
     "generate_circuit",
     "ROW_HEIGHT",
     "SITE_WIDTH",

@@ -103,6 +103,17 @@ def cluster_netlist(
     for i in range(netlist.num_cells):
         find(i)
 
+    # Per-root aggregates in two bincount passes — the old per-root
+    # ``np.flatnonzero(parent == i)`` scan was O(cells^2) and dominated
+    # coarsening beyond ~10k cells.
+    root_area = np.bincount(
+        parent, weights=netlist.areas, minlength=netlist.num_cells
+    )
+    powers = np.array([c.power for c in netlist.cells])
+    root_power = np.bincount(
+        parent, weights=powers, minlength=netlist.num_cells
+    )
+
     # Build the coarse netlist: fixed cells + cluster representatives.
     builder = NetlistBuilder(netlist.name + "+coarse")
     coarse_of = np.full(netlist.num_cells, -1, dtype=np.int64)
@@ -119,21 +130,20 @@ def cluster_netlist(
     for i, cell in enumerate(netlist.cells):
         if cell.fixed or parent[i] != i:
             continue
-        members = np.flatnonzero(parent == i)
-        total_area = float(netlist.areas[members].sum())
-        width = total_area / cell.height
+        width = float(root_area[i]) / cell.height
         builder.add_cell(
             cell.name,
             width=width,
             height=cell.height,
             kind=CellKind.BLOCK if cell.kind is CellKind.BLOCK else CellKind.STANDARD,
             delay=cell.delay,
-            power=float(sum(netlist.cells[int(m)].power for m in members)),
+            power=float(root_power[i]),
         )
-        idx = len(names)
+        coarse_of[i] = len(names)
         names.append(cell.name)
-        for m in members:
-            coarse_of[m] = idx
+    # Members inherit their root's coarse index in one gather (fixed cells
+    # and representatives map to themselves: parent[i] == i for both).
+    coarse_of = coarse_of[parent]
 
     # Nets: collapse pins to clusters, dedupe, drop degenerate nets.
     for net in netlist.nets:
@@ -160,8 +170,6 @@ def cluster_netlist(
 
     coarse = builder.build()
     coarse_index = {cell.name: cell.index for cell in coarse.cells}
-    remap = np.array(
-        [coarse_index[names[coarse_of[i]]] for i in range(netlist.num_cells)],
-        dtype=np.int64,
-    )
+    name_to_idx = np.array([coarse_index[nm] for nm in names], dtype=np.int64)
+    remap = name_to_idx[coarse_of]
     return Clustering(coarse=coarse, map_to_coarse=remap, original=netlist)

@@ -45,6 +45,35 @@ from .netlist import Netlist
 ROW_HEIGHT = 100.0  # microns
 SITE_WIDTH = 5.0
 
+#: Canonical bench-size circuits.  All sizes share the generator's
+#: Rent's-rule connectivity profile (geometric-locality sinks plus a
+#: global tail) and keep the same cells-per-row² density, so the density
+#: landscape the placer sees is scale-invariant: ``num_rows`` grows as
+#: ``sqrt(num_cells)``.  ``tiny``/``small``/``medium`` are the regression
+#: trio the committed bench report always carries; ``large`` (100k cells)
+#: and ``huge`` (1M cells) exist to exercise the multilevel V-cycle and
+#: are recorded on demand (``repro bench --sizes large``).
+BENCH_SIZES = {
+    "tiny": {"num_cells": 60, "num_rows": 4},
+    "small": {"num_cells": 300, "num_rows": 8},
+    "medium": {"num_cells": 1200, "num_rows": 16},
+    "large": {"num_cells": 100_000, "num_rows": 144},
+    "huge": {"num_cells": 1_000_000, "num_rows": 460},
+}
+
+
+def bench_spec(size: str, seed: int = 0) -> "GeneratorSpec":
+    """The :class:`GeneratorSpec` for a named bench size.
+
+    Raises ``ValueError`` for unknown sizes so callers surface the full
+    menu instead of a bare ``KeyError``.
+    """
+    if size not in BENCH_SIZES:
+        raise ValueError(
+            f"unknown bench size {size!r}; choose from {sorted(BENCH_SIZES)}"
+        )
+    return GeneratorSpec(name=size, seed=seed, **BENCH_SIZES[size])
+
 
 @dataclass
 class GeneratorSpec:

@@ -29,18 +29,22 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from ..core import KraftwerkPlacer, PlacerConfig
 from ..evaluation import hpwl_meters
 from ..legalize import final_placement
-from ..netlist import GeneratorSpec, Placement, generate_circuit
+from ..netlist import Placement, generate_circuit
+from ..netlist.generator import BENCH_SIZES, bench_spec
 from . import Telemetry
 
 BENCH_SCHEMA = "repro-bench/1"
 
-#: Generator parameters per bench size (kept aligned with the test
-#: fixtures so the bench exercises the same circuits CI already covers).
-BENCH_SIZES: Dict[str, Dict[str, int]] = {
-    "tiny": {"num_cells": 60, "num_rows": 4},
-    "small": {"num_cells": 300, "num_rows": 8},
-    "medium": {"num_cells": 1200, "num_rows": 16},
-}
+# BENCH_SIZES is owned by the netlist layer (repro.netlist.generator):
+# the generator defines the circuits, this module layers the benchmark
+# harness on top and re-exports the table for existing importers.
+
+#: Sizes the default sweep (``--sizes all`` / no flag) runs; the committed
+#: report always carries these three, large/huge are recorded on demand.
+DEFAULT_SIZES = ("tiny", "small", "medium")
+
+#: Coarsening levels the bench uses per size (0 = flat placement).
+MULTILEVEL_LEVELS: Dict[str, int] = {"large": 2, "huge": 3}
 
 #: Phase names the report always carries, even when a phase recorded no
 #: time (e.g. ``solve`` without ``hold`` in accumulate mode).
@@ -52,18 +56,45 @@ REPORT_PHASES = (
     "hold",
     "solve",
     "stats",
+    "coarsen",
     "legalize",
 )
+
+#: A phase eating more than this share of the phase total is flagged as the
+#: run's bottleneck in the report (and by ``repro bench``).
+BOTTLENECK_SHARE = 0.5
+
+
+def phase_shares(phases: Dict[str, float]) -> Dict[str, Any]:
+    """Per-phase wall-time shares plus the dominant-phase flag.
+
+    Returns ``{"shares": {phase: fraction}, "bottleneck": name_or_None}``
+    where shares are fractions of the summed phase time (all zero when no
+    phase recorded time) and ``bottleneck`` names the phase exceeding
+    :data:`BOTTLENECK_SHARE`, if any.
+    """
+    total = sum(phases.values())
+    shares = {
+        name: round(seconds / total, 4) if total > 0 else 0.0
+        for name, seconds in phases.items()
+    }
+    bottleneck = None
+    for name, share in shares.items():
+        if share > BOTTLENECK_SHARE:
+            bottleneck = name
+            break
+    return {"shares": shares, "bottleneck": bottleneck}
 
 
 def resolve_sizes(spec: Optional[str]) -> List[str]:
     """Expand a ``--sizes`` argument into a validated size list.
 
-    ``None`` or ``"all"`` select every known size (tiny/small/medium);
-    otherwise *spec* is a comma-separated subset, e.g. ``"tiny,small"``.
+    ``None`` or ``"all"`` select the default sweep (tiny/small/medium);
+    ``large``/``huge`` must be requested explicitly, e.g.
+    ``"medium,large"``.
     """
     if spec is None or spec == "all":
-        return list(BENCH_SIZES)
+        return list(DEFAULT_SIZES)
     sizes = [s.strip() for s in spec.split(",") if s.strip()]
     if not sizes:
         raise ValueError("no bench sizes given")
@@ -95,37 +126,61 @@ def run_bench(
     once under the no-op recorder.  The second run powers both the
     determinism check and the telemetry-overhead estimate.
     """
-    if size not in BENCH_SIZES:
-        raise ValueError(
-            f"unknown bench size {size!r}; choose from {sorted(BENCH_SIZES)}"
-        )
-    spec = GeneratorSpec(name=size, seed=seed, **BENCH_SIZES[size])
+    spec = bench_spec(size, seed=seed)
     circuit = generate_circuit(spec)
     netlist, region = circuit.netlist, circuit.region
-    config = PlacerConfig(seed=seed)
+    levels = MULTILEVEL_LEVELS.get(size, 0)
+    config = PlacerConfig(seed=seed, multilevel_levels=levels)
+
+    def _run(telemetry=None):
+        if levels > 0:
+            from ..core.multilevel import MultilevelPlacer
+
+            ml = MultilevelPlacer(
+                netlist, region, config, telemetry=telemetry
+            ).place()
+            histories = [r.history for r in ml.coarse_results] + [
+                ml.refine_result.history
+            ]
+            return (
+                ml.placement,
+                ml.total_iterations,
+                ml.refine_result.converged,
+                [s for h in histories for s in h],
+                ml.hpwl_m,
+            )
+        result = KraftwerkPlacer(
+            netlist, region, config, telemetry=telemetry
+        ).place()
+        return (
+            result.placement,
+            result.iterations,
+            result.converged,
+            result.history,
+            result.hpwl_m,
+        )
 
     telemetry = Telemetry()
     t0 = time.perf_counter()
-    result = KraftwerkPlacer(netlist, region, config, telemetry=telemetry).place()
+    placement, iterations, converged, history, global_hpwl = _run(telemetry)
     instrumented_s = time.perf_counter() - t0
-    global_hash = placement_hash(result.placement)
-    global_hpwl = result.hpwl_m
+    global_hash = placement_hash(placement)
 
-    final = result.placement
+    final = placement
     if legalize:
-        final = final_placement(result.placement, region, telemetry=telemetry)
+        final = final_placement(placement, region, telemetry=telemetry)
 
     t1 = time.perf_counter()
-    repeat = KraftwerkPlacer(netlist, region, PlacerConfig(seed=seed)).place()
+    repeat_placement = _run()[0]
     noop_s = time.perf_counter() - t1
-    repeat_hash = placement_hash(repeat.placement)
+    repeat_hash = placement_hash(repeat_placement)
 
     totals = telemetry.spans.totals()
     phases = {
         name: round(totals.get(name, {}).get("seconds", 0.0), 6)
         for name in REPORT_PHASES
     }
-    cg_iterations = int(sum(s.cg_iterations for s in result.history))
+    cg_iterations = int(sum(s.cg_iterations for s in history))
 
     if trace_path is not None:
         telemetry.write_trace(trace_path)
@@ -139,13 +194,15 @@ def run_bench(
             "nets": int(netlist.num_nets),
         },
         "seed": seed,
-        "iterations": result.iterations,
-        "converged": result.converged,
+        "iterations": iterations,
+        "converged": converged,
+        "multilevel_levels": levels,
         "hpwl_m": global_hpwl,
         "final_hpwl_m": hpwl_meters(final),
         "legalized": legalize,
         "cg_iterations": cg_iterations,
         "phases": phases,
+        "phase_shares": phase_shares(phases),
         "wall_seconds": {
             "instrumented": round(instrumented_s, 6),
             "noop": round(noop_s, 6),
@@ -211,7 +268,7 @@ def write_bench_report(
     are mirrored at the top level so simple consumers need not dig into
     ``runs``.
     """
-    sizes = list(BENCH_SIZES) if sizes is None else list(sizes)
+    sizes = list(DEFAULT_SIZES) if sizes is None else list(sizes)
     runs = [
         run_bench(
             size,
@@ -227,6 +284,7 @@ def write_bench_report(
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
         "sizes": list(sizes),
         "phases": primary["phases"],
+        "phase_shares": primary["phase_shares"],
         "hpwl_m": primary["hpwl_m"],
         "final_hpwl_m": primary["final_hpwl_m"],
         "iterations": primary["iterations"],

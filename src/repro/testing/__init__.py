@@ -4,6 +4,10 @@
 robustness suite to prove that every guardrail and recovery path in the
 placement pipeline actually fires.  It is importable from production code
 paths' point of view, but installs nothing unless explicitly asked to.
+
+:mod:`repro.testing.legal` is the shared legality oracle: one vectorized
+:func:`~repro.testing.legal.assert_legal` that every legalizer test calls,
+so "legal" means exactly one thing across the whole suite.
 """
 
 from .faults import (
@@ -12,9 +16,11 @@ from .faults import (
     corrupt_field,
     fail_cg,
 )
+from .legal import assert_legal
 
 __all__ = [
     "FaultInjection",
+    "assert_legal",
     "burn_deadline",
     "corrupt_field",
     "fail_cg",

@@ -10,7 +10,9 @@ from repro.cli import main
 from repro.observability.bench import (
     BENCH_SCHEMA,
     BENCH_SIZES,
+    DEFAULT_SIZES,
     REPORT_PHASES,
+    phase_shares,
     resolve_sizes,
     run_bench,
     write_bench_report,
@@ -104,7 +106,12 @@ class TestBenchCLI:
         assert [r["size"] for r in report["runs"]] == ["tiny"]
 
     def test_bench_sizes_cover_cli_choices(self):
-        assert {"tiny", "small", "medium"} == set(BENCH_SIZES)
+        # The default sweep stays tiny/small/medium; the scale sizes are
+        # known but opt-in (never part of "all").
+        assert {"tiny", "small", "medium"} == set(DEFAULT_SIZES)
+        assert {"tiny", "small", "medium", "large", "huge"} == set(BENCH_SIZES)
+        assert resolve_sizes("all") == list(DEFAULT_SIZES)
+        assert resolve_sizes("large") == ["large"]
 
     def test_cli_sizes_flag(self, tmp_path):
         out = tmp_path / "bench.json"
@@ -118,3 +125,28 @@ class TestBenchCLI:
                    "--out", str(tmp_path / "b.json")])
         assert rc == 2
         assert "unknown bench size" in capsys.readouterr().err
+
+
+class TestPhaseShares:
+    """Per-phase wall-time shares and the >50 % bottleneck flag."""
+
+    def test_shares_and_bottleneck(self):
+        info = phase_shares({"a": 3.0, "b": 1.0})
+        assert info["shares"] == {"a": 0.75, "b": 0.25}
+        assert info["bottleneck"] == "a"
+
+    def test_even_split_has_no_bottleneck(self):
+        info = phase_shares({"a": 1.0, "b": 1.0})
+        assert info["bottleneck"] is None
+
+    def test_all_zero_is_well_defined(self):
+        info = phase_shares({"a": 0.0, "b": 0.0})
+        assert info["shares"] == {"a": 0.0, "b": 0.0}
+        assert info["bottleneck"] is None
+
+    def test_run_report_carries_shares(self):
+        run = run_bench("tiny", legalize=False)
+        info = run["phase_shares"]
+        assert set(info["shares"]) == set(REPORT_PHASES)
+        total = sum(info["shares"].values())
+        assert total == pytest.approx(1.0, abs=0.01)

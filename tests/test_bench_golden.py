@@ -1,0 +1,102 @@
+"""Golden regression tests against the committed ``BENCH_kraftwerk.json``.
+
+Two layers of pinning:
+
+- the committed report itself must honor the acceptance envelope (medium
+  legalize span and legalized HPWL, a recorded ``large`` V-cycle run,
+  determinism everywhere) — catches a bad regeneration at commit time;
+- the cheap sizes (tiny, small) are re-placed live and must reproduce the
+  committed determinism hashes bit for bit — catches an algorithm drift
+  that forgot to regenerate the report.
+
+When an intentional algorithm change shifts these numbers, regenerate via
+``python -m repro bench --sizes tiny,small,medium,large`` and commit the
+new report together with the change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.observability.bench import run_bench
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_kraftwerk.json"
+
+#: Acceptance envelope for the medium size: the legalize span must stay
+#: >= 10x under the scalar engine's 0.510333 s, at equal-or-better
+#: legalized wire length.
+MEDIUM_LEGALIZE_BUDGET_S = 0.0510333
+MEDIUM_LEGAL_HPWL_BOUND_M = 0.6150796558488973
+
+pytestmark = pytest.mark.bench
+
+
+@pytest.fixture(scope="module")
+def report():
+    assert BENCH_PATH.exists(), "BENCH_kraftwerk.json missing from repo root"
+    return json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+
+
+def _run(report, size):
+    for run in report["runs"]:
+        if run["size"] == size:
+            return run
+    raise AssertionError(f"no {size!r} run in committed bench report")
+
+
+class TestCommittedReport:
+    def test_deterministic_everywhere(self, report):
+        assert report["deterministic"] is True
+        for run in report["runs"]:
+            assert run["determinism"]["deterministic"], run["size"]
+
+    def test_covers_all_recorded_sizes(self, report):
+        sizes = [run["size"] for run in report["runs"]]
+        assert sizes == ["tiny", "small", "medium", "large"]
+
+    def test_medium_legalize_budget(self, report):
+        run = _run(report, "medium")
+        assert run["legalized"] is True
+        assert run["phases"]["legalize"] <= MEDIUM_LEGALIZE_BUDGET_S
+
+    def test_medium_legal_hpwl_bound(self, report):
+        run = _run(report, "medium")
+        assert run["final_hpwl_m"] <= MEDIUM_LEGAL_HPWL_BOUND_M
+
+    def test_large_runs_the_v_cycle(self, report):
+        run = _run(report, "large")
+        assert run["multilevel_levels"] >= 1
+        assert run["circuit"]["movable_cells"] == 100_000
+        assert run["phases"]["coarsen"] > 0.0
+        assert run["determinism"]["deterministic"]
+
+    def test_phase_shares_recorded(self, report):
+        for run in report["runs"]:
+            info = run["phase_shares"]
+            assert set(info["shares"]) == set(run["phases"])
+            total = sum(info["shares"].values())
+            assert total == pytest.approx(1.0, abs=0.01)
+
+
+class TestLiveHashesMatchGolden:
+    """Re-place the cheap sizes and compare against the committed hashes."""
+
+    @pytest.mark.parametrize("size", ["tiny", "small"])
+    def test_placement_hash_pinned(self, report, size):
+        golden = _run(report, size)
+        live = run_bench(size, seed=golden["seed"], legalize=False)
+        assert live["determinism"]["hash"] == golden["determinism"]["hash"], (
+            f"{size} placement drifted from the committed bench — if "
+            "intentional, regenerate BENCH_kraftwerk.json"
+        )
+        assert live["iterations"] == golden["iterations"]
+
+    def test_tiny_legalized_hpwl_pinned(self, report):
+        golden = _run(report, "tiny")
+        live = run_bench("tiny", seed=golden["seed"], legalize=True)
+        assert live["final_hpwl_m"] == pytest.approx(
+            golden["final_hpwl_m"], rel=1e-12
+        )

@@ -85,3 +85,84 @@ class TestMultilevel:
         ).place()
         assert result.levels <= 2
         assert len(result.coarse_results) == result.levels
+
+
+class TestVCycle:
+    """The config-driven V-cycle: api routing, spans, budgets, resume."""
+
+    def test_api_config_routes_multilevel(self, small_circuit):
+        import repro
+        from repro.observability import Telemetry
+
+        tel = Telemetry()
+        cfg = PlacerConfig(multilevel_levels=2)
+        result = repro.place(
+            small_circuit, config=cfg, seed=0, telemetry=tel, legalize=False
+        )
+        names = set(tel.spans.totals())
+        assert "coarsen" in names
+        assert "level-0" in names and "level-1" in names
+        assert result.placement.netlist is small_circuit.netlist
+        assert result.config["multilevel_levels"] == 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PlacerConfig(multilevel_levels=-1)
+        with pytest.raises(ValueError):
+            PlacerConfig(multilevel_refine_iterations=0)
+
+    def test_refine_stages_respect_budget(self, small_circuit):
+        result = MultilevelPlacer(
+            small_circuit.netlist, small_circuit.region,
+            levels=2, refine_iterations=4,
+        ).place()
+        # Only the coarsest level runs from scratch with the full budget;
+        # every level seeded by an expanded placement refines briefly.
+        for coarse in result.coarse_results[1:]:
+            assert coarse.iterations <= 4
+        assert result.refine_result.iterations <= 4
+
+    def test_deterministic(self, small_circuit):
+        cfg = PlacerConfig(multilevel_levels=2)
+        a = MultilevelPlacer(
+            small_circuit.netlist, small_circuit.region, cfg
+        ).place()
+        b = MultilevelPlacer(
+            small_circuit.netlist, small_circuit.region, cfg
+        ).place()
+        assert np.array_equal(a.placement.x, b.placement.x)
+        assert np.array_equal(a.placement.y, b.placement.y)
+
+    def test_checkpoint_written_for_original_netlist_and_resumable(
+        self, small_circuit, tmp_path
+    ):
+        ckpt = tmp_path / "ml.npz"
+        cfg = PlacerConfig(
+            multilevel_levels=1,
+            multilevel_refine_iterations=8,
+            checkpoint_path=str(ckpt),
+            checkpoint_every=2,
+        )
+        MultilevelPlacer(
+            small_circuit.netlist, small_circuit.region, cfg
+        ).place()
+        # Only the final full-netlist refinement checkpoints, so the
+        # snapshot always describes the original netlist...
+        assert ckpt.exists()
+        # ...and resume skips the coarse traversal entirely.
+        resumed = MultilevelPlacer(
+            small_circuit.netlist, small_circuit.region, cfg
+        ).place(resume_from=str(ckpt))
+        assert resumed.levels == 0
+        assert resumed.coarse_results == []
+        assert resumed.placement.netlist is small_circuit.netlist
+
+    def test_cli_multilevel_flag(self, capsys):
+        from repro.cli import main
+
+        rc = main(["place", "--circuit", "fract", "--scale", "0.5",
+                   "--multilevel", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "multilevel" in out
+        assert "global placement" in out
