@@ -17,6 +17,8 @@ Sub-packages:
 - :mod:`repro.api` — the stable one-call facade (``place``/``place_many``).
 - :mod:`repro.parallel` — the parallel batch-placement engine.
 - :mod:`repro.core` — the force-directed global placer (the contribution).
+- :mod:`repro.backend` — pluggable array backends (numpy / cupy / torch)
+  for the field/solve hot path; see ``docs/BACKENDS.md``.
 - :mod:`repro.netlist` — cells, nets, placements, benchmark generators.
 - :mod:`repro.geometry` — rectangles, rows, regions, bin grids.
 - :mod:`repro.timing` — Elmore delays, STA, timing-driven flows.
@@ -30,6 +32,7 @@ Sub-packages:
   and the ``repro bench`` regression harness.
 """
 
+from .backend import available_backends, resolve_backend
 from .geometry import Grid, PlacementRegion, Rect
 from .netlist import (
     Cell,
@@ -121,6 +124,8 @@ from .parallel import (
 __version__ = "1.1.0"
 
 __all__ = [
+    "available_backends",
+    "resolve_backend",
     "Grid",
     "PlacementRegion",
     "Rect",

@@ -1,0 +1,125 @@
+"""CuPy backend (CUDA), resolved lazily.
+
+CuPy mirrors the numpy API closely, so most methods delegate one-to-one.
+Native r2r transforms are used when the installed CuPy ships them
+(``cupyx.scipy.fft.dct``); otherwise the generic Makhoul FFT path from the
+base class applies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Backend
+
+
+class CupyBackend(Backend):
+    name = "cupy"
+    is_numpy = False
+    supports_dct = True
+
+    def __init__(self):
+        import cupy  # deferred: only requested backends pay the import
+        import cupyx.scipy.sparse as cusparse
+
+        self.cp = cupy
+        self.cusparse = cusparse
+        try:
+            from cupyx.scipy import fft as cufft
+
+            self._dct = getattr(cufft, "dct", None)
+            self._idct = getattr(cufft, "idct", None)
+        except ImportError:  # pragma: no cover - old cupy
+            self._dct = self._idct = None
+
+    # -- conversion ----------------------------------------------------
+    def asarray(self, a):
+        return self.cp.asarray(a, dtype=self.cp.float64)
+
+    def asarray_complex(self, a):
+        return self.cp.asarray(a, dtype=self.cp.complex128)
+
+    def to_numpy(self, a):
+        if isinstance(a, self.cp.ndarray):
+            return self.cp.asnumpy(a)
+        return np.asarray(a)
+
+    # -- allocation / elementwise --------------------------------------
+    def zeros(self, shape):
+        return self.cp.zeros(shape)
+
+    def clip(self, a, lo, hi):
+        return self.cp.clip(a, lo, hi)
+
+    def minimum(self, a, b):
+        return self.cp.minimum(a, b)
+
+    def maximum(self, a, b):
+        return self.cp.maximum(a, b)
+
+    def hypot(self, a, b):
+        return self.cp.hypot(a, b)
+
+    def trunc_int(self, a):
+        return a.astype(self.cp.int64)
+
+    def clamp_max_int(self, a, hi):
+        return self.cp.minimum(a, hi)
+
+    def concat(self, arrays, axis=0):
+        return self.cp.concatenate(arrays, axis=axis)
+
+    def flip(self, a, axis):
+        return self.cp.flip(a, axis)
+
+    def moveaxis(self, a, src, dst):
+        return self.cp.moveaxis(a, src, dst)
+
+    def bincount(self, idx, weights, minlength):
+        return self.cp.bincount(idx, weights=weights, minlength=minlength)
+
+    # -- reductions ----------------------------------------------------
+    def sum(self, a):
+        return float(a.sum())
+
+    def amax(self, a):
+        return float(a.max())
+
+    def dot(self, a, b):
+        return float(self.cp.dot(a, b))
+
+    def norm(self, a):
+        return float(self.cp.sqrt(self.cp.dot(a, a)))
+
+    # -- spectral ------------------------------------------------------
+    def rfft2(self, a, s):
+        return self.cp.fft.rfftn(a, s=tuple(s), axes=(-2, -1))
+
+    def irfft2(self, a, s):
+        return self.cp.fft.irfftn(a, s=tuple(s), axes=(-2, -1))
+
+    def fft(self, a):
+        return self.cp.fft.fft(a, axis=-1)
+
+    def ifft(self, a):
+        return self.cp.fft.ifft(a, axis=-1)
+
+    def real(self, a):
+        return self.cp.real(a)
+
+    def dct2(self, a, axis):
+        if self._dct is not None:
+            return self._dct(a, type=2, axis=axis)
+        return super().dct2(a, axis)
+
+    def idct2(self, a, axis):
+        if self._idct is not None:
+            return self._idct(a, type=2, axis=axis)
+        return super().idct2(a, axis)
+
+    # -- sparse --------------------------------------------------------
+    def csr_from_scipy(self, A):
+        return self.cusparse.csr_matrix(A)
+
+    def matvec(self, A, x):
+        return A @ x

@@ -95,6 +95,15 @@ def _add_placer_args(
                         help="fast mode (K = 1.0) instead of standard (K = 0.2)")
     parser.add_argument("--net-model", choices=["clique", "b2b"],
                         default="clique", dest="net_model")
+    parser.add_argument("--backend", choices=["numpy", "cupy", "torch"],
+                        default=None,
+                        help="array backend for the field/solve hot path "
+                             "(default numpy; cupy/torch need the optional "
+                             "dependency installed)")
+    parser.add_argument("--spectral-mode", choices=["fft", "dct", "direct"],
+                        default=None, dest="spectral_mode",
+                        help="Poisson solver: fft (free-space, default), "
+                             "dct (Neumann boundaries), or direct O(n^2)")
     parser.add_argument("--seed", type=int, default=None,
                         help="placer jitter seed (default: config default)")
     parser.add_argument("--max-iterations", type=int, default=None,
@@ -484,14 +493,21 @@ def cmd_bench(args) -> int:
         det = "ok" if run["determinism"]["deterministic"] else "MISMATCH"
         print(
             f"bench {run['size']:<6}: hpwl {run['final_hpwl_m']:.4f} m, "
-            f"{run['iterations']} iterations, determinism {det}"
+            f"{run['iterations']} iterations, "
+            f"{run['total_seconds']:.2f}s total, determinism {det}"
         )
         print(f"  hot phases: {hot_str}")
         bottleneck = run["phase_shares"]["bottleneck"]
+        top_phase = run["phase_shares"]["top_phase"]
         if bottleneck is not None:
             print(
                 f"  BOTTLENECK: {bottleneck} takes "
                 f"{shares[bottleneck]:.0%} of phase time"
+            )
+        elif top_phase is not None:
+            print(
+                f"  top phase: {top_phase} ({shares[top_phase]:.0%} "
+                f"of phase time)"
             )
     print(f"wrote {args.out}")
     if args.trace:

@@ -24,12 +24,15 @@ from .placer import (
     place_circuit,
 )
 from .poisson import (
+    SPECTRAL_MODES,
+    DctPoissonSolver,
     ForceField,
     PoissonSolver,
     bilinear_sample,
     compute_force_field,
     curl,
     divergence,
+    force_field_dct,
     force_field_direct,
     force_field_fft,
     solver_for_grid,
@@ -71,6 +74,8 @@ __all__ = [
     "KraftwerkPlacer",
     "PlacementResult",
     "place_circuit",
+    "SPECTRAL_MODES",
+    "DctPoissonSolver",
     "ForceField",
     "PoissonSolver",
     "solver_for_grid",
@@ -78,6 +83,7 @@ __all__ = [
     "compute_force_field",
     "curl",
     "divergence",
+    "force_field_dct",
     "force_field_direct",
     "force_field_fft",
     "AssembledSystem",

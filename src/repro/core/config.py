@@ -30,6 +30,8 @@ _ARG_FIELDS = {
     "max_iterations": "max_iterations",
     "multilevel": "multilevel_levels",
     "multilevel_refine": "multilevel_refine_iterations",
+    "backend": "backend",
+    "spectral_mode": "spectral_mode",
 }
 
 
@@ -163,6 +165,19 @@ class PlacerConfig:
         Transformation budget for each refinement stage of the V-cycle
         (every level that starts from an expanded coarser placement,
         including the final full-netlist stage).
+    backend:
+        Array backend for the field/solve hot path: ``"numpy"`` (default,
+        bit-identical reference), ``"cupy"`` or ``"torch"``.  ``None``
+        consults the ``REPRO_BACKEND`` environment variable and falls back
+        to numpy.  Accelerator backends are resolved lazily at placer
+        construction and raise an actionable error when the library is
+        missing; see ``docs/BACKENDS.md``.
+    spectral_mode:
+        Poisson-field formulation: ``"fft"`` (default, free-space
+        convolution via zero-padded real FFTs — the historical,
+        bit-identical path), ``"dct"`` (Neumann reduced real-to-real
+        transforms, no padding; fields differ near the region boundary) or
+        ``"direct"`` (O(N²) dense oracle — tests/debugging only).
     """
 
     K: float = STANDARD_K
@@ -195,6 +210,8 @@ class PlacerConfig:
     checkpoint_every: int = 10
     multilevel_levels: int = 0
     multilevel_refine_iterations: int = 12
+    backend: Optional[str] = None
+    spectral_mode: str = "fft"
 
     def __post_init__(self) -> None:
         if self.K <= 0:
@@ -226,6 +243,18 @@ class PlacerConfig:
             raise ValueError("multilevel_levels must be >= 0 (0 = flat)")
         if self.multilevel_refine_iterations < 1:
             raise ValueError("multilevel_refine_iterations must be >= 1")
+        if self.backend is not None and self.backend not in (
+            "numpy", "cupy", "torch"
+        ):
+            raise ValueError(
+                f"backend must be 'numpy', 'cupy', 'torch' or None, "
+                f"got {self.backend!r}"
+            )
+        if self.spectral_mode not in ("fft", "dct", "direct"):
+            raise ValueError(
+                f"spectral_mode must be 'fft', 'dct' or 'direct', "
+                f"got {self.spectral_mode!r}"
+            )
 
     @classmethod
     def standard(cls, **overrides) -> "PlacerConfig":

@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..backend import NUMPY, Backend
 from ..geometry import Grid, PlacementRegion
 from ..netlist import Netlist, Placement
 from ..observability import NULL_TELEMETRY
@@ -47,31 +48,45 @@ def density_grid(
 
 
 def splat_bilinear(
-    grid: Grid, x: np.ndarray, y: np.ndarray, mass: np.ndarray
+    grid: Grid,
+    x: np.ndarray,
+    y: np.ndarray,
+    mass: np.ndarray,
+    backend: Optional[Backend] = None,
 ) -> np.ndarray:
     """Vectorized bilinear point-splat of masses onto bin centers.
 
     Exactly conserves total mass and the center of mass for points interior
-    to the grid; boundary points are clamped.
+    to the grid; boundary points are clamped.  ``backend`` routes the
+    scatter to an accelerator; the result is always a host numpy array
+    (and the default numpy path is bit-identical to the pre-backend code).
     """
-    out = np.zeros(grid.shape)
+    bk = backend if backend is not None else NUMPY
     if len(x) == 0:
-        return out
+        return bk.to_numpy(bk.zeros(grid.shape))
     # Position in units of bins, relative to the first bin center.
-    gx = (np.asarray(x) - grid.bounds.xlo) / grid.dx - 0.5
-    gy = (np.asarray(y) - grid.bounds.ylo) / grid.dy - 0.5
-    gx = np.clip(gx, 0.0, grid.nx - 1.0)
-    gy = np.clip(gy, 0.0, grid.ny - 1.0)
-    ix0 = np.minimum(gx.astype(np.int64), grid.nx - 2) if grid.nx > 1 else np.zeros(len(x), dtype=np.int64)
-    iy0 = np.minimum(gy.astype(np.int64), grid.ny - 2) if grid.ny > 1 else np.zeros(len(y), dtype=np.int64)
-    tx = gx - ix0 if grid.nx > 1 else np.zeros(len(x))
-    ty = gy - iy0 if grid.ny > 1 else np.zeros(len(y))
-    ix1 = np.minimum(ix0 + 1, grid.nx - 1)
-    iy1 = np.minimum(iy0 + 1, grid.ny - 1)
-    m = np.asarray(mass, dtype=np.float64)
+    gx = (bk.asarray(x) - grid.bounds.xlo) / grid.dx - 0.5
+    gy = (bk.asarray(y) - grid.bounds.ylo) / grid.dy - 0.5
+    gx = bk.clip(gx, 0.0, grid.nx - 1.0)
+    gy = bk.clip(gy, 0.0, grid.ny - 1.0)
+    if grid.nx > 1:
+        ix0 = bk.clamp_max_int(bk.trunc_int(gx), grid.nx - 2)
+        tx = gx - ix0
+    else:
+        ix0 = bk.trunc_int(bk.zeros((len(x),)))
+        tx = bk.zeros((len(x),))
+    if grid.ny > 1:
+        iy0 = bk.clamp_max_int(bk.trunc_int(gy), grid.ny - 2)
+        ty = gy - iy0
+    else:
+        iy0 = bk.trunc_int(bk.zeros((len(y),)))
+        ty = bk.zeros((len(y),))
+    ix1 = bk.clamp_max_int(ix0 + 1, grid.nx - 1)
+    iy1 = bk.clamp_max_int(iy0 + 1, grid.ny - 1)
+    m = bk.asarray(mass)
     # One fused bincount scatter: several times faster than np.add.at,
     # which dispatches per element through the ufunc machinery.
-    idx = np.concatenate(
+    idx = bk.concat(
         [
             iy0 * grid.nx + ix0,
             iy0 * grid.nx + ix1,
@@ -79,7 +94,7 @@ def splat_bilinear(
             iy1 * grid.nx + ix1,
         ]
     )
-    wts = np.concatenate(
+    wts = bk.concat(
         [
             m * (1 - tx) * (1 - ty),
             m * tx * (1 - ty),
@@ -87,9 +102,8 @@ def splat_bilinear(
             m * tx * ty,
         ]
     )
-    return np.bincount(idx, weights=wts, minlength=grid.nx * grid.ny).reshape(
-        grid.shape
-    )
+    out = bk.bincount(idx, wts, grid.nx * grid.ny)
+    return bk.to_numpy(out).reshape(grid.shape)
 
 
 @dataclass
@@ -117,9 +131,11 @@ class DensityModel:
         grid: Optional[Grid] = None,
         bins: Optional[int] = None,
         max_bins: int = 256,
+        backend: Optional[Backend] = None,
     ):
         self.netlist = netlist
         self.region = region
+        self.backend = backend if backend is not None else NUMPY
         self.grid = grid if grid is not None else density_grid(
             region, netlist, bins=bins, max_bins=max_bins
         )
@@ -139,7 +155,9 @@ class DensityModel:
             half_h = nl.heights[idx] / 2.0
             cx = np.clip(placement.x[idx], b.xlo + half_w, b.xhi - half_w)
             cy = np.clip(placement.y[idx], b.ylo + half_h, b.yhi - half_h)
-            demand += splat_bilinear(self.grid, cx, cy, nl.areas[idx])
+            demand += splat_bilinear(
+                self.grid, cx, cy, nl.areas[idx], backend=self.backend
+            )
         if self._large.size:
             idx = self._large
             w = np.minimum(nl.widths[idx], b.width)

@@ -13,12 +13,18 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..backend import NUMPY, Backend
 from ..geometry import PlacementRegion
 from ..netlist import Netlist, Placement
 from ..observability import NULL_TELEMETRY
 from .density import DensityModel, DensityResult
 from .health import _FAULT_HOOKS
-from .poisson import ForceField, compute_force_field, solver_for_grid
+from .poisson import (
+    SPECTRAL_MODES,
+    ForceField,
+    compute_force_field,
+    solver_for_grid,
+)
 
 
 @dataclass
@@ -50,18 +56,25 @@ class ForceCalculator:
         bins: Optional[int] = None,
         max_bins: int = 256,
         telemetry=NULL_TELEMETRY,
+        backend: Optional[Backend] = None,
     ):
         self.netlist = netlist
         self.region = region
         self.method = method
         self.telemetry = telemetry
+        self.backend = backend if backend is not None else NUMPY
         self.density_model = density_model or DensityModel(
-            netlist, region, bins=bins, max_bins=max_bins
+            netlist, region, bins=bins, max_bins=max_bins,
+            backend=self.backend,
         )
         # One spectral solver per calculator: the grid is fixed, so the
-        # kernel FFTs are computed exactly once for the placer's lifetime.
+        # spectral plans are computed exactly once for the placer's
+        # lifetime (and shared across same-grid calculators via the
+        # module cache, keyed by geometry, mode and backend).
         self.poisson_solver = (
-            solver_for_grid(self.density_model.grid) if method == "fft" else None
+            solver_for_grid(self.density_model.grid, method, self.backend)
+            if method in SPECTRAL_MODES
+            else None
         )
 
     def reference_force(self, K: float) -> float:
@@ -97,12 +110,13 @@ class ForceCalculator:
         )
         field = compute_force_field(
             density, method=self.method, telemetry=telemetry,
-            solver=self.poisson_solver,
+            solver=self.poisson_solver, backend=self.backend,
         )
         movable = self.netlist.movable_indices
         with telemetry.span("sample"):
             raw_fx, raw_fy = field.sample(
-                placement.x[movable], placement.y[movable]
+                placement.x[movable], placement.y[movable],
+                backend=self.backend,
             )
         magnitude = np.hypot(raw_fx, raw_fy)
         max_mag = float(magnitude.max()) if magnitude.size else 0.0

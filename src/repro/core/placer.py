@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..backend import resolve_backend
 from ..evaluation.wirelength import hpwl_meters
 from ..geometry import PlacementRegion, largest_empty_square_side
 from ..netlist import Netlist, Placement
@@ -59,6 +60,12 @@ class IterationStats:
     """
 
     iteration: int
+    # HPWL and strongest sampled force are *observability* quantities: the
+    # iteration itself never consumes them, so they are computed only when
+    # someone is watching (telemetry sink attached, verbose, an
+    # iteration_hook, or a deadline that needs best-so-far tracking) and
+    # are NaN otherwise.  The final result's HPWL is always available on
+    # demand through :attr:`PlacementResult.hpwl_m`.
     hpwl_m: float
     empty_square_ratio: float  # largest empty square area / avg cell area
     overflow_fraction: float  # demand above bin capacity / movable area
@@ -121,6 +128,9 @@ class KraftwerkPlacer:
         self.region = region
         self.config = config or PlacerConfig()
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        # Resolve the array backend up front so a requested-but-missing
+        # accelerator fails at construction, not mid-run.
+        self.backend = resolve_backend(self.config.backend)
         if self.config.net_model == "b2b":
             from .b2b import B2BSystem
 
@@ -132,9 +142,11 @@ class KraftwerkPlacer:
         self.force_calc = ForceCalculator(
             netlist,
             region,
+            method=self.config.spectral_mode,
             bins=self.config.density_bins,
             max_bins=self.config.max_density_bins,
             telemetry=self.telemetry,
+            backend=self.backend,
         )
         # Linearization span guard: roughly one cell width, so coincident
         # cells are not welded together by quasi-infinite 1/span weights.
@@ -251,6 +263,15 @@ class KraftwerkPlacer:
         self._guard = guard
         self._escalations = 0
         deadline = cfg.deadline_seconds
+        # HPWL and max-force are observability-only (see IterationStats):
+        # skip them when nobody is watching.  A deadline counts as watching
+        # because best-so-far tracking ranks iterates by HPWL.
+        observe = (
+            tel.enabled
+            or cfg.verbose
+            or iteration_hook is not None
+            or deadline is not None
+        )
         place_span = tel.span("place")
         place_span.__enter__()
         t_start = time.perf_counter()
@@ -326,10 +347,10 @@ class KraftwerkPlacer:
 
                 stats = IterationStats(
                     iteration=m,
-                    hpwl_m=hpwl_meters(placement),
+                    hpwl_m=hpwl_meters(placement) if observe else float("nan"),
                     empty_square_ratio=ratio,
                     overflow_fraction=overflow,
-                    max_force=forces.max_magnitude(),
+                    max_force=forces.max_magnitude() if observe else float("nan"),
                     force_scale=forces.scale,
                     cg_iterations=cg_iters,
                     seconds=time.perf_counter() - t0,
@@ -337,7 +358,8 @@ class KraftwerkPlacer:
                     recovery_escalations=self._escalations - escalations_before,
                 )
                 history.append(stats)
-                best = self._track_best(best, stats, placement, e_x, e_y, cfg)
+                if deadline is not None:
+                    best = self._track_best(best, stats, placement, e_x, e_y, cfg)
                 if cfg.checkpoint_path is not None and (
                     (m + 1) % cfg.checkpoint_every == 0 or m + 1 == limit
                 ):
@@ -498,12 +520,12 @@ class KraftwerkPlacer:
         if not cfg.recovery:
             return conjugate_gradient(
                 A, b, x0=x0, tol=tol, max_iter=cfg.cg_max_iter,
-                telemetry=self.telemetry,
+                telemetry=self.telemetry, backend=self.backend,
             )
         result = solve_with_recovery(
             A, b, x0=x0, tol=tol, strict_tol=cfg.cg_tol,
             max_iter=cfg.cg_max_iter, telemetry=self.telemetry,
-            iteration=iteration,
+            iteration=iteration, backend=self.backend,
         )
         self._escalations += len(result.escalations)
         return result

@@ -81,6 +81,12 @@ class QuadraticSystem:
         self._var_of_cell[netlist.movable_indices] = np.arange(self.n_movable)
 
         self._star_nets: List[int] = []
+        # Assembly scratch, reused across transformations: unit runtime
+        # weights and the scatter-value buffer of _assemble_axis.  Both are
+        # value-for-value what the per-call allocations held, so reuse is
+        # bit-identical.
+        self._unit_weights: Optional[np.ndarray] = None
+        self._vals_buf: Optional[np.ndarray] = None
         self._build_edges()
 
     # ------------------------------------------------------------------
@@ -247,7 +253,12 @@ class QuadraticSystem:
         toward ``anchor_xy``.
         """
         num_nets = self.netlist.num_nets
-        runtime = np.ones(num_nets) if net_weights is None else np.asarray(net_weights)
+        if net_weights is None:
+            if self._unit_weights is None or self._unit_weights.size != num_nets:
+                self._unit_weights = np.ones(num_nets)
+            runtime = self._unit_weights
+        else:
+            runtime = np.asarray(net_weights)
         if runtime.shape != (num_nets,):
             raise ValueError("net_weights has wrong length")
         fx = runtime if lin_x is None else runtime * np.asarray(lin_x)
@@ -285,9 +296,20 @@ class QuadraticSystem:
         n = self.n_vars
         # Entry order must mirror _build_pattern's concatenation; bincount
         # reduces the duplicate entries into their precomputed CSR slots.
-        vals = np.concatenate(
-            [w_mm, w_mm, -w_mm, -w_mm, w_mf, np.full(n, anchor_weight)]
-        )
+        # The value buffer is reused across calls (two axes x many
+        # transformations) instead of concatenating fresh arrays each time.
+        m = w_mm.size
+        k = w_mf.size
+        total = 4 * m + k + n
+        vals = self._vals_buf
+        if vals is None or vals.size != total:
+            vals = self._vals_buf = np.empty(total)
+        vals[:m] = w_mm
+        vals[m:2 * m] = w_mm
+        np.negative(w_mm, out=vals[2 * m:3 * m])
+        vals[3 * m:4 * m] = vals[2 * m:3 * m]
+        vals[4 * m:4 * m + k] = w_mf
+        vals[4 * m + k:] = anchor_weight
         data = np.bincount(self._pat_inv, weights=vals, minlength=self._pat_nnz)
         A = sp.csr_matrix(
             (data, self._pat_indices, self._pat_indptr), shape=(n, n), copy=False

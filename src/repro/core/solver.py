@@ -16,6 +16,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from ..backend import NUMPY, Backend
 from ..observability import NULL_TELEMETRY
 from .health import NumericalHealthError, _FAULT_HOOKS, array_stats
 
@@ -77,6 +78,105 @@ class ShiftedOperator:
         return self._mat
 
 
+def _cg_numpy(
+    A: sp.csr_matrix,
+    b: np.ndarray,
+    inv_diag: np.ndarray,
+    x0: Optional[np.ndarray],
+    tol: float,
+    max_iter: int,
+):
+    """The reference CG loop, tuned for small systems.
+
+    The placer solves thousands of ~1k-variable systems per run, so the
+    per-iteration Python/numpy dispatch overhead dominates the actual
+    flops.  This loop keeps the classical recurrence bit-identical while
+    eliminating the per-iteration allocations: the matvec writes into a
+    reused buffer via the CSR kernel, the axpy updates go through one
+    scratch array, and norms use the ``sqrt(dot)`` fast path (exactly what
+    ``np.linalg.norm`` computes for 1-D real input).
+    """
+    n = A.shape[0]
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    Ap = np.zeros(n)
+    tmp = np.empty(n)
+    matvec = NUMPY.matvec
+    r = b - matvec(A, x, out=Ap)
+    target = tol * max(float(np.sqrt(np.dot(b, b))), 1e-300)
+    z = inv_diag * r
+    p = z.copy()
+    rz = float(np.dot(r, z))
+    res_norm = float(np.sqrt(np.dot(r, r)))
+    iterations = 0
+    while res_norm > target and iterations < max_iter:
+        Ap = matvec(A, p, out=Ap)
+        pAp = float(np.dot(p, Ap))
+        if pAp <= 0.0:
+            # Numerical breakdown; the matrix is not SPD enough to continue.
+            break
+        alpha = rz / pAp
+        np.multiply(p, alpha, out=tmp)
+        x += tmp
+        np.multiply(Ap, alpha, out=tmp)
+        r -= tmp
+        np.multiply(inv_diag, r, out=z)
+        rz_next = float(np.dot(r, z))
+        beta = rz_next / rz
+        rz = rz_next
+        p *= beta
+        p += z
+        res_norm = float(np.sqrt(np.dot(r, r)))
+        iterations += 1
+    return x, iterations, res_norm, res_norm <= target
+
+
+def _cg_device(
+    backend: Backend,
+    A: sp.csr_matrix,
+    b: np.ndarray,
+    inv_diag: np.ndarray,
+    x0: Optional[np.ndarray],
+    tol: float,
+    max_iter: int,
+):
+    """Generic CG on an accelerator backend.
+
+    The matrix is snapshotted to the device once per solve (the caller's
+    :class:`ShiftedOperator` rewrites its host buffer between solves, so a
+    cached device handle would go stale).  Scalar reductions synchronize;
+    the loop is otherwise expressed in pure out-of-place backend ops, and
+    the solution is brought back to numpy at the boundary so everything
+    downstream (checkpoints, hashes, telemetry) stays host-side.
+    """
+    Ad = backend.csr_from_scipy(A)
+    bd = backend.asarray(b)
+    invd = backend.asarray(inv_diag)
+    x = backend.zeros((A.shape[0],)) if x0 is None else backend.asarray(x0)
+    r = bd - backend.matvec(Ad, x)
+    target = tol * max(backend.norm(bd), 1e-300)
+    z = invd * r
+    p = z
+    rz = backend.dot(r, z)
+    res_norm = backend.norm(r)
+    iterations = 0
+    while res_norm > target and iterations < max_iter:
+        Ap = backend.matvec(Ad, p)
+        pAp = backend.dot(p, Ap)
+        if pAp <= 0.0:
+            break
+        alpha = rz / pAp
+        x = x + alpha * p
+        r = r - alpha * Ap
+        z = invd * r
+        rz_next = backend.dot(r, z)
+        beta = rz_next / rz
+        rz = rz_next
+        p = z + beta * p
+        res_norm = backend.norm(r)
+        iterations += 1
+    return backend.to_numpy(x), iterations, res_norm, res_norm <= target
+
+
 def conjugate_gradient(
     A: sp.spmatrix,
     b: np.ndarray,
@@ -84,12 +184,15 @@ def conjugate_gradient(
     tol: float = 1e-8,
     max_iter: int = 1000,
     telemetry=NULL_TELEMETRY,
+    backend: Optional[Backend] = None,
 ) -> SolveResult:
     """Jacobi-preconditioned CG for SPD systems.
 
     Terminates when ``||r|| <= tol * ||b||`` (or ``||r|| <= tol`` for a zero
     right-hand side).  ``telemetry`` accumulates ``cg_iterations`` /
-    ``cg_solves`` counters onto the caller's open span.
+    ``cg_solves`` counters onto the caller's open span.  ``backend`` routes
+    the iteration to an accelerator; ``None`` (or the numpy backend) takes
+    the reference path, which is bit-identical to the historical solver.
     """
     A = A.tocsr()
     n = A.shape[0]
@@ -103,37 +206,21 @@ def conjugate_gradient(
         raise ValueError("matrix has non-positive diagonal entries; not SPD")
     inv_diag = 1.0 / diag
 
-    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
-    r = b - A @ x
-    target = tol * max(float(np.linalg.norm(b)), 1e-300)
-    z = inv_diag * r
-    p = z.copy()
-    rz = float(r @ z)
-    res_norm = float(np.linalg.norm(r))
-    iterations = 0
-    while res_norm > target and iterations < max_iter:
-        Ap = A @ p
-        pAp = float(p @ Ap)
-        if pAp <= 0.0:
-            # Numerical breakdown; the matrix is not SPD enough to continue.
-            break
-        alpha = rz / pAp
-        x += alpha * p
-        r -= alpha * Ap
-        z = inv_diag * r
-        rz_next = float(r @ z)
-        beta = rz_next / rz
-        rz = rz_next
-        p = z + beta * p
-        res_norm = float(np.linalg.norm(r))
-        iterations += 1
+    if backend is None or backend.is_numpy:
+        x, iterations, res_norm, converged = _cg_numpy(
+            A, b, inv_diag, x0, tol, max_iter
+        )
+    else:
+        x, iterations, res_norm, converged = _cg_device(
+            backend, A, b, inv_diag, x0, tol, max_iter
+        )
     telemetry.add("cg_solves", 1)
     telemetry.add("cg_iterations", iterations)
     result = SolveResult(
         x=x,
         iterations=iterations,
         residual_norm=res_norm,
-        converged=res_norm <= target,
+        converged=converged,
     )
     if _FAULT_HOOKS:
         hook = _FAULT_HOOKS.get("cg")
@@ -177,6 +264,7 @@ def solve_with_recovery(
     max_iter: int = 1000,
     telemetry=NULL_TELEMETRY,
     iteration: Optional[int] = None,
+    backend: Optional[Backend] = None,
 ) -> SolveResult:
     """CG with an escalation ladder for non-convergent or divergent solves.
 
@@ -196,6 +284,10 @@ def solve_with_recovery(
     4. **anchored** — direct solve of ``A + eps·I`` with a tiny diagonal
        anchor (``1e-6`` of the mean diagonal), for systems too
        ill-conditioned even for LU.
+
+    ``backend`` applies to the CG rungs only; the direct rungs always run
+    scipy's CPU factorization (robustness beats residency once CG has
+    already failed).
 
     Each rung taken bumps a ``recovery_<rung>`` telemetry counter.  If the
     ladder is exhausted without a finite solution, or the right-hand side
@@ -221,7 +313,8 @@ def solve_with_recovery(
     cg_usable = bool(np.isfinite(diag).all() and np.all(diag > 0))
     if cg_usable:
         result = conjugate_gradient(
-            A, b, x0=x0, tol=tol, max_iter=max_iter, telemetry=telemetry
+            A, b, x0=x0, tol=tol, max_iter=max_iter, telemetry=telemetry,
+            backend=backend,
         )
         if _healthy(result):
             return result
@@ -234,7 +327,7 @@ def solve_with_recovery(
             warm = None
         result = conjugate_gradient(
             A, b, x0=warm, tol=strict, max_iter=2 * max_iter,
-            telemetry=telemetry,
+            telemetry=telemetry, backend=backend,
         )
         iterations += result.iterations
         if _healthy(result):
@@ -245,7 +338,7 @@ def solve_with_recovery(
         _escalate("cold_start")
         result = conjugate_gradient(
             A, b, x0=None, tol=strict, max_iter=2 * max_iter,
-            telemetry=telemetry,
+            telemetry=telemetry, backend=backend,
         )
         iterations += result.iterations
         if _healthy(result):
@@ -288,6 +381,7 @@ def solve_spd(
     tol: float = 1e-8,
     max_iter: int = 1000,
     telemetry=NULL_TELEMETRY,
+    backend: Optional[Backend] = None,
 ) -> np.ndarray:
     """Solve an SPD system, falling back to a direct solve if CG stalls.
 
@@ -296,7 +390,8 @@ def solve_spd(
     span; the direct fallback additionally bumps ``direct_solves``.
     """
     result = conjugate_gradient(
-        A, b, x0=x0, tol=tol, max_iter=max_iter, telemetry=telemetry
+        A, b, x0=x0, tol=tol, max_iter=max_iter, telemetry=telemetry,
+        backend=backend,
     )
     if result.converged:
         return result.x

@@ -62,28 +62,30 @@ REPORT_PHASES = (
 
 #: A phase eating more than this share of the phase total is flagged as the
 #: run's bottleneck in the report (and by ``repro bench``).
-BOTTLENECK_SHARE = 0.5
+BOTTLENECK_SHARE = 0.4
 
 
 def phase_shares(phases: Dict[str, float]) -> Dict[str, Any]:
-    """Per-phase wall-time shares plus the dominant-phase flag.
+    """Per-phase wall-time shares plus the dominant-phase flags.
 
-    Returns ``{"shares": {phase: fraction}, "bottleneck": name_or_None}``
+    Returns ``{"shares": {...}, "top_phase": ..., "bottleneck": ...}``
     where shares are fractions of the summed phase time (all zero when no
-    phase recorded time) and ``bottleneck`` names the phase exceeding
-    :data:`BOTTLENECK_SHARE`, if any.
+    phase recorded time), ``top_phase`` always names the largest phase
+    (``None`` only when nothing recorded time), and ``bottleneck`` repeats
+    it when its share exceeds :data:`BOTTLENECK_SHARE`.
     """
     total = sum(phases.values())
     shares = {
         name: round(seconds / total, 4) if total > 0 else 0.0
         for name, seconds in phases.items()
     }
-    bottleneck = None
-    for name, share in shares.items():
-        if share > BOTTLENECK_SHARE:
-            bottleneck = name
-            break
-    return {"shares": shares, "bottleneck": bottleneck}
+    top_phase = max(shares, key=shares.get) if total > 0 else None
+    bottleneck = (
+        top_phase
+        if top_phase is not None and shares[top_phase] > BOTTLENECK_SHARE
+        else None
+    )
+    return {"shares": shares, "top_phase": top_phase, "bottleneck": bottleneck}
 
 
 def resolve_sizes(spec: Optional[str]) -> List[str]:
@@ -126,6 +128,7 @@ def run_bench(
     once under the no-op recorder.  The second run powers both the
     determinism check and the telemetry-overhead estimate.
     """
+    t_begin = time.perf_counter()
     spec = bench_spec(size, seed=seed)
     circuit = generate_circuit(spec)
     netlist, region = circuit.netlist, circuit.region
@@ -203,6 +206,10 @@ def run_bench(
         "cg_iterations": cg_iterations,
         "phases": phases,
         "phase_shares": phase_shares(phases),
+        # Absolute wall time for the whole bench run (generation, both
+        # placements, legalization) — the headline "how long did this size
+        # take" number; the instrumented/noop split below refines it.
+        "total_seconds": round(time.perf_counter() - t_begin, 6),
         "wall_seconds": {
             "instrumented": round(instrumented_s, 6),
             "noop": round(noop_s, 6),

@@ -35,6 +35,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from ..backend import resolve_backend
 from .jobs import BatchResult, JobResult, PlacementJob
 
 ProgressCallback = Callable[[JobResult, int, int], None]
@@ -202,6 +203,13 @@ def run_batch(
     module docstring for the worker/isolation/checkpoint semantics.
     """
     jobs = list(jobs)
+    # Fail fast on a missing accelerator: resolving each distinct backend
+    # once here, in the parent, beats rediscovering the same ImportError
+    # job by job after the pool has spun up.
+    for backend_name in sorted(
+        {j.config_dict().get("backend") or "" for j in jobs} - {""}
+    ):
+        resolve_backend(backend_name)
     n_workers = resolve_workers(workers)
     trace_path = Path(trace_dir) if trace_dir is not None else None
     if trace_path is not None:

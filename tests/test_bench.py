@@ -128,20 +128,31 @@ class TestBenchCLI:
 
 
 class TestPhaseShares:
-    """Per-phase wall-time shares and the >50 % bottleneck flag."""
+    """Per-phase wall-time shares, top_phase, and the >40 % bottleneck flag."""
 
     def test_shares_and_bottleneck(self):
         info = phase_shares({"a": 3.0, "b": 1.0})
         assert info["shares"] == {"a": 0.75, "b": 0.25}
+        assert info["top_phase"] == "a"
         assert info["bottleneck"] == "a"
 
-    def test_even_split_has_no_bottleneck(self):
+    def test_even_split_fires_at_forty_percent(self):
+        # 0.5 share each: top_phase is deterministic (first max) and the
+        # >0.4 bottleneck threshold fires on it.
         info = phase_shares({"a": 1.0, "b": 1.0})
-        assert info["bottleneck"] is None
+        assert info["top_phase"] == "a"
+        assert info["bottleneck"] == "a"
+
+    def test_below_threshold_still_reports_top_phase(self):
+        info = phase_shares({"a": 2.0, "b": 2.0, "c": 1.0})
+        assert info["shares"]["a"] == 0.4
+        assert info["top_phase"] == "a"
+        assert info["bottleneck"] is None  # 0.4 is not > 0.4
 
     def test_all_zero_is_well_defined(self):
         info = phase_shares({"a": 0.0, "b": 0.0})
         assert info["shares"] == {"a": 0.0, "b": 0.0}
+        assert info["top_phase"] is None
         assert info["bottleneck"] is None
 
     def test_run_report_carries_shares(self):
@@ -150,3 +161,5 @@ class TestPhaseShares:
         assert set(info["shares"]) == set(REPORT_PHASES)
         total = sum(info["shares"].values())
         assert total == pytest.approx(1.0, abs=0.01)
+        assert info["top_phase"] in REPORT_PHASES
+        assert run["total_seconds"] > 0

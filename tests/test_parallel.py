@@ -116,7 +116,11 @@ class TestResultObjects:
         clone = pickle.loads(pickle.dumps(result))
         assert np.array_equal(clone.placement.x, result.placement.x)
         assert clone.iterations == result.iterations
-        assert clone.history[0].hpwl_m == result.history[0].hpwl_m
+        assert clone.history[0].seconds == result.history[0].seconds
+        assert (
+            clone.history[0].empty_square_ratio
+            == result.history[0].empty_square_ratio
+        )
 
     def test_flow_result_frozen_and_picklable(self):
         flow = place("tiny", legalize=True, seed=0, max_iterations=6)
