@@ -200,6 +200,7 @@ def place(
     telemetry=None,
     max_iterations: Optional[int] = None,
     resume_from=None,
+    reuse=None,
 ) -> FlowResult:
     """Place one design end to end and return a :class:`FlowResult`.
 
@@ -208,6 +209,9 @@ def place(
     *seed* always wins over the config's seed so multi-start sweeps can
     share one config object.  ``legalize=True`` (the default) runs the
     Abacus + detailed-improvement final placement after global placement.
+    *reuse* optionally passes a :class:`~repro.core.reuse.ReuseContext` so
+    repeated runs on the same netlist (e.g. the bench's determinism repeat)
+    skip the setup work — bit-identically, see ``core/reuse.py``.
 
     The call is deterministic: the same source, config and seed produce a
     bit-identical placement in any process.
@@ -229,6 +233,7 @@ def place(
             cfg,
             refine_iterations=max_iterations,
             telemetry=telemetry,
+            reuse=reuse,
         ).place(resume_from=resume_from)
         result: PlacementResult = dc_replace(
             ml.refine_result,
@@ -237,7 +242,7 @@ def place(
         )
     else:
         placer = KraftwerkPlacer(
-            netlist, resolved_region, cfg, telemetry=telemetry
+            netlist, resolved_region, cfg, telemetry=telemetry, reuse=reuse
         )
         result = placer.place(
             max_iterations=max_iterations, resume_from=resume_from
@@ -250,7 +255,14 @@ def place(
 
         t0 = time.perf_counter()
         leg_kwargs = {} if telemetry is None else {"telemetry": telemetry}
-        legal = final_placement(result.placement, resolved_region, **leg_kwargs)
+        legal = final_placement(
+            result.placement,
+            resolved_region,
+            bands=cfg.legalize_bands,
+            threads=cfg.legalize_threads,
+            improver_min_gain=cfg.improver_min_gain,
+            **leg_kwargs,
+        )
         seconds += time.perf_counter() - t0
         legal_hpwl = hpwl_meters(legal)
     return FlowResult(

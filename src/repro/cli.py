@@ -116,6 +116,19 @@ def _add_placer_args(
                         dest="multilevel_refine", metavar="N",
                         help="refinement transformations per V-cycle level "
                              "(default 12)")
+    parser.add_argument("--legalize-bands", type=int, default=None,
+                        dest="legalize_bands", metavar="N",
+                        help="row bands for the banded-parallel Abacus snap "
+                             "(0 = auto, 1 = serial; results are identical "
+                             "at every setting)")
+    parser.add_argument("--legalize-threads", type=int, default=None,
+                        dest="legalize_threads", metavar="N",
+                        help="worker threads for the banded snap (default 1)")
+    parser.add_argument("--improver-min-gain", type=float, default=None,
+                        dest="improver_min_gain", metavar="FRAC",
+                        help="stop detailed improvement when a pass gains "
+                             "less than this fraction of HPWL (default 0 = "
+                             "run every pass)")
     parser.add_argument("--verbose", action="store_true")
     if checkpointing:
         parser.add_argument("--deadline", type=float, default=None,
@@ -482,6 +495,7 @@ def cmd_bench(args) -> int:
         seed=args.seed,
         legalize=not args.no_legalize,
         trace_path=args.trace,
+        profile=args.profile,
     )
     for run in report["runs"]:
         phases = run["phases"]
@@ -642,6 +656,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--out", default="BENCH_kraftwerk.json",
                          help="report path (default BENCH_kraftwerk.json)")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="attach cProfile top-15 cumulative functions "
+                              "for the place and legalize phases")
     p_bench.add_argument("--no-legalize", action="store_true",
                          help="skip the final placement step")
     p_bench.add_argument("--trace",
@@ -657,6 +674,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[list] = None) -> int:
+    from .perf import tune_allocator
+
+    tune_allocator()
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

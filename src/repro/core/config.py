@@ -32,6 +32,9 @@ _ARG_FIELDS = {
     "multilevel_refine": "multilevel_refine_iterations",
     "backend": "backend",
     "spectral_mode": "spectral_mode",
+    "legalize_bands": "legalize_bands",
+    "legalize_threads": "legalize_threads",
+    "improver_min_gain": "improver_min_gain",
 }
 
 
@@ -178,6 +181,20 @@ class PlacerConfig:
         bit-identical path), ``"dct"`` (Neumann reduced real-to-real
         transforms, no padding; fields differ near the region boundary) or
         ``"direct"`` (O(N²) dense oracle — tests/debugging only).
+    legalize_bands:
+        Number of row bands the Abacus snap sweeps independently (merged
+        deterministically; bit-identical to the serial sweep at every band
+        count — see ``legalize/vector.py``).  ``0`` (default) sizes bands
+        automatically from the cell count (serial below ~20k cells);
+        ``1`` forces the serial sweep.
+    legalize_threads:
+        Worker threads for the banded snap.  Results never depend on this
+        value; ``1`` (default) keeps the sweep on the calling thread.
+    improver_min_gain:
+        Relative early-exit threshold for the detailed improver: stop when
+        a whole pass recovers less than this fraction of the
+        pre-improvement HPWL.  ``0.0`` (default) runs every pass — the
+        bit-identical reference schedule.
     """
 
     K: float = STANDARD_K
@@ -212,6 +229,9 @@ class PlacerConfig:
     multilevel_refine_iterations: int = 12
     backend: Optional[str] = None
     spectral_mode: str = "fft"
+    legalize_bands: int = 0
+    legalize_threads: int = 1
+    improver_min_gain: float = 0.0
 
     def __post_init__(self) -> None:
         if self.K <= 0:
@@ -254,6 +274,14 @@ class PlacerConfig:
             raise ValueError(
                 f"spectral_mode must be 'fft', 'dct' or 'direct', "
                 f"got {self.spectral_mode!r}"
+            )
+        if self.legalize_bands < 0:
+            raise ValueError("legalize_bands must be >= 0 (0 = auto)")
+        if self.legalize_threads < 1:
+            raise ValueError("legalize_threads must be >= 1")
+        if not 0.0 <= self.improver_min_gain < 1.0:
+            raise ValueError(
+                "improver_min_gain must be in [0, 1) (0 disables early exit)"
             )
 
     @classmethod

@@ -30,11 +30,12 @@ from dataclasses import dataclass, replace as dc_replace
 from typing import List, Optional
 
 from ..netlist import Netlist, Placement
-from ..netlist.clustering import Clustering, cluster_netlist
+from ..netlist.clustering import Clustering, cluster_netlist_multi
 from ..geometry import PlacementRegion
 from ..observability import NULL_TELEMETRY
 from .config import PlacerConfig
 from .placer import KraftwerkPlacer, PlacementResult
+from .reuse import ReuseContext
 
 
 @dataclass
@@ -75,6 +76,7 @@ class MultilevelPlacer:
         levels: Optional[int] = None,
         refine_iterations: Optional[int] = None,
         telemetry=None,
+        reuse: Optional[ReuseContext] = None,
     ):
         self.config = config or PlacerConfig()
         if levels is None:
@@ -88,6 +90,10 @@ class MultilevelPlacer:
         self.levels = levels
         self.refine_iterations = refine_iterations
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        # Shared per-netlist setup cache: clusterings, quadratic systems
+        # and force calculators are reused across levels and across whole
+        # runs (bit-identically — see core/reuse.py).
+        self.reuse = reuse
 
     def place(self, resume_from=None) -> MultilevelResult:
         """Run the V-cycle; ``resume_from`` (a checkpoint of the original
@@ -103,13 +109,21 @@ class MultilevelPlacer:
         placement: Optional[Placement] = None
         if resume_from is None:
             with telemetry.span("coarsen") as span:
-                current = self.netlist
-                for _ in range(self.levels):
-                    clustering = cluster_netlist(current)
-                    if clustering.coarse.num_movable >= current.num_movable:
-                        break  # nothing merged; stop coarsening
-                    clusterings.append(clustering)
-                    current = clustering.coarse
+                # One multi-level clustering pass: the pair table is
+                # extracted once from the finest netlist and remapped per
+                # level instead of re-walking every coarse net.  Cached in
+                # the reuse context, so a repeat run pays nothing.
+                def make_clusterings():
+                    return cluster_netlist_multi(self.netlist, self.levels)
+
+                if self.reuse is not None:
+                    clusterings = self.reuse.get(
+                        self.netlist,
+                        ("clusterings", self.levels),
+                        make_clusterings,
+                    )
+                else:
+                    clusterings = make_clusterings()
                 span.add("levels", len(clusterings))
                 if clusterings:
                     span.add(
@@ -123,10 +137,11 @@ class MultilevelPlacer:
             for depth, clustering in enumerate(reversed(clusterings)):
                 level = len(clusterings) - depth  # coarsest = highest
                 with telemetry.span(f"level-{level}") as span:
-                    placer = KraftwerkPlacer(
-                        clustering.coarse, self.region, coarse_cfg,
-                        telemetry=telemetry,
-                    )
+                    with telemetry.span("setup"):
+                        placer = KraftwerkPlacer(
+                            clustering.coarse, self.region, coarse_cfg,
+                            telemetry=telemetry, reuse=self.reuse,
+                        )
                     result = placer.place(
                         initial=placement,
                         max_iterations=(
@@ -135,15 +150,25 @@ class MultilevelPlacer:
                         ),
                     )
                     coarse_results.append(result)
-                    placement = clustering.expand(result.placement)
+                    # Cheap overlap-reduction snap: spread cluster members
+                    # side by side instead of stacking them at the center,
+                    # so the finer level refines a nearly-legal spread
+                    # rather than re-discovering it.  Full legalization
+                    # runs only once, after the final level.
+                    with telemetry.span("expand"):
+                        placement = clustering.expand(
+                            result.placement, spread=True
+                        )
                     span.add("cells", clustering.coarse.num_movable)
                     span.add("iterations", result.iterations)
                     span.add("hpwl_m", result.hpwl_m)
 
         with telemetry.span("level-0") as span:
-            refine_placer = KraftwerkPlacer(
-                self.netlist, self.region, self.config, telemetry=telemetry
-            )
+            with telemetry.span("setup"):
+                refine_placer = KraftwerkPlacer(
+                    self.netlist, self.region, self.config,
+                    telemetry=telemetry, reuse=self.reuse,
+                )
             refine = refine_placer.place(
                 initial=placement,
                 max_iterations=(

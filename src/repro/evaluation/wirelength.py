@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..netlist import Netlist, Placement
+from ..netlist import Netlist, Placement, PinDirection
 
 MICRONS_PER_METER = 1.0e6
 
@@ -26,16 +26,20 @@ class NetPinArrays:
         cells: list = []
         dxs: list = []
         dys: list = []
+        outs: list = []
+        OUTPUT = PinDirection.OUTPUT
         for net in netlist.nets:
             for pin in net.pins:
                 cells.append(pin.cell)
                 dxs.append(pin.dx)
                 dys.append(pin.dy)
+                outs.append(pin.direction is OUTPUT)
             starts.append(len(cells))
         self.net_start = np.array(starts, dtype=np.int64)
         self.pin_cell = np.array(cells, dtype=np.int64)
         self.pin_dx = np.array(dxs, dtype=np.float64)
         self.pin_dy = np.array(dys, dtype=np.float64)
+        self.pin_is_out = np.array(outs, dtype=bool)
         self.static_weight = np.array([n.weight for n in netlist.nets])
         self.degree = np.diff(self.net_start)
 

@@ -5,6 +5,7 @@ from typing import Optional, Sequence
 from ..geometry import PlacementRegion, Rect
 from ..netlist import Placement
 from ..observability import NULL_TELEMETRY
+from ..perf import improver_alloc_scope
 from .segments import Segment, build_segments, total_capacity
 from .abacus import AbacusLegalizer, LegalizationResult
 from .greedy import TetrisLegalizer
@@ -39,6 +40,9 @@ def final_placement(
     improver: str = "vector",
     use_domino: bool = False,
     telemetry=NULL_TELEMETRY,
+    bands: int = 0,
+    threads: int = 1,
+    improver_min_gain: float = 0.0,
 ) -> Placement:
     """Global placement -> legal, locally optimized placement.
 
@@ -52,6 +56,12 @@ def final_placement(
     default, ``abacus-scalar`` — the scalar oracle, or ``tetris``);
     ``improver`` selects the polish stage (``vector`` — batched exact
     deltas, ``scalar`` — the reference implementation, or ``none``).
+
+    ``bands``/``threads`` drive the banded-parallel snap (``abacus``
+    only; bit-identical to the serial sweep at every setting) and
+    ``improver_min_gain`` the vector improver's relative early exit —
+    see :class:`~repro.legalize.vector.VectorAbacusLegalizer` and
+    :class:`~repro.legalize.improver.VectorImprover`.
     """
     if legalizer not in LEGALIZERS:
         raise ValueError(
@@ -64,18 +74,26 @@ def final_placement(
         )
     with telemetry.span("legalize") as leg_span:
         with telemetry.span("snap"):
-            legal = LEGALIZERS[legalizer](region, obstacles=obstacles).legalize(
-                placement
-            )
+            snap_kwargs = {}
+            if legalizer == "abacus":
+                snap_kwargs = {"bands": bands, "threads": threads}
+            legal = LEGALIZERS[legalizer](
+                region, obstacles=obstacles, **snap_kwargs
+            ).legalize(placement)
         if not legal.success:
             raise RuntimeError(
                 f"legalization failed for {len(legal.failed_cells)} cells"
             )
         result = legal.placement
         if improver != "none":
-            with telemetry.span("improve"):
+            with telemetry.span("improve"), \
+                    improver_alloc_scope(len(result.x)):
+                improve_kwargs = {}
+                if improver == "vector":
+                    improve_kwargs = {"min_gain": improver_min_gain}
                 improved = IMPROVERS[improver](
-                    region, max_passes=improver_passes, obstacles=obstacles
+                    region, max_passes=improver_passes, obstacles=obstacles,
+                    **improve_kwargs
                 ).improve(result)
                 result = improved.placement
         if use_domino:

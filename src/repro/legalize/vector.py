@@ -16,18 +16,32 @@ collapsing per segment — re-built on flat array state so it scales to
 - **Flat cluster state**: each segment keeps parallel float lists
   ``(x, e, q, w)`` plus each cluster's start into its placed-cell list;
   final positions are reconstructed in one vectorized pass per segment.
+- **Banded parallelism**: with ``bands > 1`` the row index is split into
+  contiguous horizontal bands, each cell is pre-assigned to the band of
+  its nearest row, and the bands sweep independently (optionally on a
+  thread pool).  A band simulates the *global* nearest-row expansion but
+  trials only in-band rows; the moment it visits an out-of-band row where
+  the serial sweep would not already have stopped (neither the radius
+  break nor the exact y-cost prune fires) the cell *escapes* — the band
+  is merged with its neighbor in the escape direction and re-run.  In a
+  partition with no escapes every cell provably sees exactly the serial
+  trial sequence, so the merged result is bit-identical to the serial
+  sweep at any band/thread count; in the worst case merging degenerates
+  to one band, which *is* the serial sweep.
 
 The sweep itself (cells sorted by desired left edge) and every tie-breaking
 rule match the scalar implementation bit for bit; the cross-check suite
 (``tests/test_legalize_vector.py``) pins vectorized-vs-scalar positions on
-randomized instances.  The scalar Abacus stays in the tree as the
+randomized instances, and ``tests/test_legalize_banded.py`` pins
+banded-vs-serial equality.  The scalar Abacus stays in the tree as the
 correctness oracle.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import List, Optional, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +51,17 @@ from .abacus import LegalizationResult
 from .segments import Segment, build_segments
 
 _INF = float("inf")
+
+#: Below this many standard cells a banded request falls back to serial —
+#: band bookkeeping costs more than it saves on small instances.
+SERIAL_FALLBACK_CELLS = 20_000
+
+#: Auto band sizing (``bands=0``): one band per this many cells.
+_CELLS_PER_BAND = 50_000
+
+#: Keep at least this many rows per band so the escape rate stays low
+#: (cells stop within ``row_search_radius`` rows of their target).
+_MIN_ROWS_PER_BAND = 8
 
 
 class RowIndex:
@@ -182,27 +207,118 @@ class _SegState:
         self.used += width
 
 
+def _sweep_band(
+    states: List[Optional[_SegState]],
+    ys: List[float],
+    row_segments: List[List[int]],
+    radius: int,
+    idxs: List[int],
+    widths: List[float],
+    weights: List[float],
+    xds: List[float],
+    yds: List[float],
+    row_lo: int,
+    row_hi: int,
+) -> Tuple[List[int], int]:
+    """Sweep one band's cells (global x order) over rows [row_lo, row_hi).
+
+    Simulates the *global* two-pointer nearest-row expansion — out-of-band
+    rows are counted and checked against the serial break conditions, but
+    never trialed.  Returns ``(failed, escape)`` where ``escape`` is 0 for
+    a clean run, -1/+1 when a cell reached a row below/above the band at a
+    point where the serial sweep would have kept going (its result could
+    depend on out-of-band state; the caller merges bands and re-runs).
+    With ``row_lo == 0 and row_hi == len(ys)`` this *is* the serial sweep
+    and can never escape.
+    """
+    nrows = len(ys)
+    failed: List[int] = []
+    for i, width, weight, xd, yd in zip(idxs, widths, weights, xds, yds):
+        best_cost = _INF
+        best: Optional[int] = None
+        rows_tried = 0
+        # Inlined two-pointer nearest-row expansion (ties to the lower
+        # row) — a generator here costs more than the whole trial.
+        hi = bisect_left(ys, yd)
+        lo = hi - 1
+        while lo >= 0 or hi < nrows:
+            if lo < 0:
+                r = hi
+                hi += 1
+            elif hi >= nrows:
+                r = lo
+                lo -= 1
+            elif yd - ys[lo] <= ys[hi] - yd:
+                r = lo
+                lo -= 1
+            else:
+                r = hi
+                hi += 1
+            rows_tried += 1
+            if rows_tried > radius and best is not None:
+                break
+            y_cost = weight * (ys[r] - yd) ** 2
+            if best is not None and y_cost >= best_cost:
+                # Rows only get farther from here on; cost >= y-cost.
+                break
+            if r < row_lo:
+                return failed, -1
+            if r >= row_hi:
+                return failed, 1
+            for si in row_segments[r]:
+                if best is not None and y_cost >= best_cost:
+                    break
+                cost = states[si].trial(width, weight, xd, y_cost)
+                if cost < best_cost:
+                    best_cost = cost
+                    best = si
+        if best is None:
+            failed.append(i)
+            continue
+        states[best].append(i, width, weight, xd)
+    return failed, 0
+
+
 class VectorAbacusLegalizer:
-    """Row legalizer: scalar-Abacus semantics on flat array state."""
+    """Row legalizer: scalar-Abacus semantics on flat array state.
+
+    ``bands``: 1 = serial sweep, N > 1 = banded-parallel sweep over N row
+    bands (bit-identical output), 0 = auto (one band per ~50k cells, serial
+    below 20k).  ``threads`` > 1 runs bands on a thread pool; the result
+    never depends on the thread count.
+    """
 
     def __init__(
         self,
         region: PlacementRegion,
         obstacles: Sequence[Rect] = (),
         row_search_radius: int = 6,
+        bands: int = 0,
+        threads: int = 1,
     ):
         self.region = region
         self.obstacles = list(obstacles)
         self.row_search_radius = row_search_radius
+        self.bands = bands
+        self.threads = max(1, threads)
         self.segments = build_segments(region, self.obstacles)
         if not self.segments:
             raise ValueError("no free segments to legalize into")
         self.index = RowIndex(self.segments)
 
+    def _effective_bands(self, n_cells: int, nrows: int) -> int:
+        if self.bands == 1:
+            return 1
+        if self.bands <= 0:
+            if n_cells < SERIAL_FALLBACK_CELLS:
+                return 1
+            requested = n_cells // _CELLS_PER_BAND
+        else:
+            requested = self.bands
+        return max(1, min(requested, nrows // _MIN_ROWS_PER_BAND))
+
     def legalize(self, placement: Placement) -> LegalizationResult:
         nl = placement.netlist
-        states = [_SegState(seg) for seg in self.segments]
-        row_y = self.index.row_y
         row_segments = self.index.row_segments
         radius = self.row_search_radius
 
@@ -221,72 +337,44 @@ class VectorAbacusLegalizer:
         y_desired = placement.y[std]
         order = np.argsort(x_desired, kind="stable")
 
-        failed: List[int] = []
         # tolist() yields Python floats, so all sweep arithmetic below uses
         # CPython semantics — NumPy's scalar ``**`` rounds differently in
         # the last bit, which would break bit-identity with the scalar
         # oracle on near-tie row choices.
-        ys = row_y.tolist()
+        ys = self.index.row_y.tolist()
         nrows = len(ys)
-        for i, width, weight, xd, yd in zip(
+        cells = (
             std[order].tolist(),
             widths[order].tolist(),
             weights[order].tolist(),
             x_desired[order].tolist(),
             y_desired[order].tolist(),
-        ):
-            best_cost = _INF
-            best: Optional[int] = None
-            rows_tried = 0
-            # Inlined two-pointer nearest-row expansion (ties to the lower
-            # row) — a generator here costs more than the whole trial.
-            hi = bisect_left(ys, yd)
-            lo = hi - 1
-            while lo >= 0 or hi < nrows:
-                if lo < 0:
-                    r = hi
-                    hi += 1
-                elif hi >= nrows:
-                    r = lo
-                    lo -= 1
-                elif yd - ys[lo] <= ys[hi] - yd:
-                    r = lo
-                    lo -= 1
-                else:
-                    r = hi
-                    hi += 1
-                rows_tried += 1
-                if rows_tried > radius and best is not None:
-                    break
-                y_cost = weight * (ys[r] - yd) ** 2
-                if best is not None and y_cost >= best_cost:
-                    # Rows only get farther from here on; cost >= y-cost.
-                    break
-                for si in row_segments[r]:
-                    if best is not None and y_cost >= best_cost:
-                        break
-                    cost = states[si].trial(width, weight, xd, y_cost)
-                    if cost < best_cost:
-                        best_cost = cost
-                        best = si
-            if best is None:
-                failed.append(i)
-                continue
-            states[best].append(i, width, weight, xd)
+        )
+
+        nbands = self._effective_bands(len(cells[0]), nrows)
+        if nbands <= 1:
+            states = [_SegState(seg) for seg in self.segments]
+            failed, _ = _sweep_band(
+                states, ys, row_segments, radius, *cells, 0, nrows
+            )
+        else:
+            states, failed = self._banded_sweep(
+                cells, ys, row_segments, radius, y_desired[order], nbands
+            )
 
         out = placement.copy()
         for state in states:
-            if not state.cells:
+            if state is None or not state.cells:
                 continue
-            cells = np.array(state.cells, dtype=np.int64)
+            placed = np.array(state.cells, dtype=np.int64)
             cell_w = np.array(state.widths)
             offs = np.array(state.offsets)
             starts = np.array(state.starts, dtype=np.int64)
             counts = np.diff(np.concatenate((starts, [len(state.cells)])))
             cluster_x = np.repeat(np.array(state.cx), counts)
             # (c.x + off) + w/2 — the scalar's exact evaluation order.
-            out.x[cells] = (cluster_x + offs) + cell_w / 2.0
-            out.y[cells] = state.center_y
+            out.x[placed] = (cluster_x + offs) + cell_w / 2.0
+            out.y[placed] = state.center_y
         out.reset_fixed()
         moved = out.displacement_from(placement)
         return LegalizationResult(
@@ -295,3 +383,127 @@ class VectorAbacusLegalizer:
             max_displacement=float(moved[movable].max()) if movable.size else 0.0,
             failed_cells=failed,
         )
+
+    def _banded_sweep(
+        self,
+        cells: Tuple[list, list, list, list, list],
+        ys: List[float],
+        row_segments: List[List[int]],
+        radius: int,
+        yd_sorted: np.ndarray,
+        nbands: int,
+    ) -> Tuple[List[Optional[_SegState]], List[int]]:
+        """Run the sweep over ``nbands`` row bands, merging on escape.
+
+        Bands whose cells never provably-interact with out-of-band state
+        keep their results; a band where any cell escapes is merged with
+        its neighbor in the escape direction and re-run.  The band count
+        strictly decreases on every merge round, so this terminates — in
+        the worst case with one band, the serial sweep itself.
+        """
+        nrows = len(ys)
+        ys_arr = self.index.row_y
+
+        # Each cell's first-tried row (nearest, ties to the lower row) —
+        # the band assignment key.  Matches the sweep's first expansion
+        # step exactly.
+        hi = np.searchsorted(ys_arr, yd_sorted, side="left")
+        lo = hi - 1
+        take_lo = (lo >= 0) & (
+            (hi >= nrows) | ((yd_sorted - ys_arr[np.minimum(lo, nrows - 1)])
+                             <= (ys_arr[np.minimum(hi, nrows - 1)] - yd_sorted))
+        )
+        r0 = np.where(take_lo, lo, np.minimum(hi, nrows - 1))
+
+        # Initial partition: contiguous row ranges with ~equal rows.
+        edges = np.linspace(0, nrows, nbands + 1).astype(int)
+        bands: List[Tuple[int, int]] = [
+            (int(edges[k]), int(edges[k + 1]))
+            for k in range(nbands)
+            if edges[k] < edges[k + 1]
+        ]
+
+        def run_band(band: Tuple[int, int]):
+            row_lo, row_hi = band
+            states: List[Optional[_SegState]] = [None] * len(self.segments)
+            for r in range(row_lo, row_hi):
+                for si in row_segments[r]:
+                    states[si] = _SegState(self.segments[si])
+            mask = (r0 >= row_lo) & (r0 < row_hi)
+            sel = np.flatnonzero(mask)
+            band_cells = [
+                [col[j] for j in sel.tolist()] for col in cells
+            ]
+            failed, escape = _sweep_band(
+                states, ys, row_segments, radius, *band_cells,
+                row_lo, row_hi,
+            )
+            return band, states, failed, escape
+
+        results = {}
+        pending = list(bands)
+        while pending:
+            if self.threads > 1 and len(pending) > 1:
+                with ThreadPoolExecutor(
+                    max_workers=min(self.threads, len(pending))
+                ) as pool:
+                    outcomes = list(pool.map(run_band, pending))
+            else:
+                outcomes = [run_band(band) for band in pending]
+
+            escapes = []
+            for band, states, failed, escape in outcomes:
+                if escape == 0:
+                    results[band] = (states, failed)
+                else:
+                    escapes.append((band, escape))
+            if not escapes:
+                break
+
+            # Merge every escaped band with its neighbor in the escape
+            # direction (deterministic: escape sets do not depend on
+            # thread scheduling), then re-run only the merged bands.
+            bands.sort()
+            merged_into = list(range(len(bands)))
+
+            def root(k: int) -> int:
+                while merged_into[k] != k:
+                    k = merged_into[k]
+                return k
+
+            pos = {band: k for k, band in enumerate(bands)}
+            for band, direction in escapes:
+                k = pos[band]
+                other = k + direction
+                if 0 <= other < len(bands):
+                    a, b = root(k), root(other)
+                    if a != b:
+                        merged_into[max(a, b)] = min(a, b)
+            groups: dict = {}
+            for k, band in enumerate(bands):
+                groups.setdefault(root(k), []).append(band)
+            new_bands: List[Tuple[int, int]] = []
+            pending = []
+            for members in groups.values():
+                lo_r = min(b[0] for b in members)
+                hi_r = max(b[1] for b in members)
+                merged = (lo_r, hi_r)
+                new_bands.append(merged)
+                if len(members) > 1:
+                    pending.append(merged)
+                    for b in members:
+                        results.pop(b, None)
+            bands = sorted(new_bands)
+
+        # Combine: bands own disjoint segment sets, so a plain overlay
+        # merges them.  Failed cells can only occur in a full-range band
+        # (any escape re-merges first), so concatenation order is moot.
+        combined: List[Optional[_SegState]] = [None] * len(self.segments)
+        failed_all: List[int] = []
+        for band in bands:
+            states, failed = results[band]
+            for si, st in enumerate(states):
+                if st is not None:
+                    combined[si] = st
+            failed_all.extend(failed)
+        return combined, failed_all

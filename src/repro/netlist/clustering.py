@@ -3,13 +3,22 @@
 Heavy-edge matching over the clique-expanded connectivity graph: pairs of
 movable cells with the strongest total connection weight merge into cluster
 cells.  Applied once or twice, this shrinks a netlist ~2x per pass while
-preserving its placement structure — the substrate for the two-level
-(multilevel) placement flow in :mod:`repro.core.multilevel`.
+preserving its placement structure — the substrate for the multilevel
+placement flow in :mod:`repro.core.multilevel`.
 
 Fixed cells are never clustered.  Cluster cells keep row height and absorb
 their members' width, area, power; member offsets inside a cluster are zero
-(members land on the cluster center when the placement is expanded, and the
-refinement pass separates them).
+by default (members land on the cluster center when the placement is
+expanded; ``expand(..., spread=True)`` lays them side by side instead so
+refinement starts from a low-overlap state).
+
+The pair extraction, weight accumulation and net collapse are vectorized
+over the flat CSR pin arrays — the historical per-net Python loops were the
+dominant cost of a 100k-cell V-cycle.  :func:`cluster_netlist` reproduces
+the scalar implementation's output exactly (same merge order, same coarse
+netlist); :func:`cluster_netlist_multi` coarsens several levels in one pass
+by remapping the finest level's pair table instead of re-extracting it from
+every coarse netlist.
 """
 
 from __future__ import annotations
@@ -19,8 +28,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .builder import NetlistBuilder
-from .cell import CellKind
+from .cell import Cell, CellKind
+from .net import Net, Pin, PinDirection
 from .netlist import Netlist
 from .placement import Placement
 
@@ -38,31 +47,256 @@ class Clustering:
     def ratio(self) -> float:
         return self.original.num_cells / self.coarse.num_cells
 
-    def expand(self, coarse_placement: Placement) -> Placement:
-        """Original-netlist placement with members at their cluster center."""
-        placement = Placement(
-            self.original,
-            coarse_placement.x[self.map_to_coarse],
-            coarse_placement.y[self.map_to_coarse],
-        )
+    def expand(
+        self, coarse_placement: Placement, spread: bool = False
+    ) -> Placement:
+        """Original-netlist placement from a coarse placement.
+
+        By default every member lands on its cluster center.  With
+        ``spread=True`` the members of each cluster are laid out side by
+        side around the center (in cell-index order, same row), which
+        removes most intra-cluster overlap so a finer level's refinement
+        starts from a nearly-spread state instead of stacked points.
+        """
+        x = coarse_placement.x[self.map_to_coarse]
+        y = coarse_placement.y[self.map_to_coarse]
+        if spread:
+            nl = self.original
+            mov = nl.movable_indices
+            order = np.argsort(
+                self.map_to_coarse[mov], kind="stable"
+            )
+            mov = mov[order]
+            grp = self.map_to_coarse[mov]
+            w = nl.widths[mov]
+            csum = np.cumsum(w)
+            starts = np.flatnonzero(np.r_[True, grp[1:] != grp[:-1]])
+            bounds = np.r_[starts, grp.size]
+            sizes = np.diff(bounds)
+            # left edge of each member inside its cluster strip
+            base = csum[starts] - w[starts]
+            left = csum - w - np.repeat(base, sizes)
+            total = np.repeat(csum[bounds[1:] - 1] - base, sizes)
+            x[mov] += left + 0.5 * w - 0.5 * total
+        placement = Placement(self.original, x, y)
         placement.reset_fixed()
         return placement
 
 
-def _connection_weights(netlist: Netlist, max_degree: int) -> Dict[Tuple[int, int], float]:
-    """Pairwise clique weights between movable cells (small nets only)."""
-    weights: Dict[Tuple[int, int], float] = {}
-    for net in netlist.nets:
-        k = net.degree
-        if k < 2 or k > max_degree:
+# ----------------------------------------------------------------------
+# Pair extraction and accumulation
+# ----------------------------------------------------------------------
+def _dedupe_pairs(
+    a: np.ndarray, b: np.ndarray, w: np.ndarray, num_cells: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sum duplicate pairs, output in first-encounter order.
+
+    Reproduces the scalar dict semantics exactly: duplicates accumulate in
+    encounter order (bincount sums in input order within a slot) and the
+    output order is the dict's insertion order.
+    """
+    if a.size == 0:
+        e = np.zeros(0, dtype=np.int64)
+        return e, e.copy(), np.zeros(0)
+    keys = a.astype(np.int64) * np.int64(num_cells) + b.astype(np.int64)
+    uniq, first, inv = np.unique(keys, return_index=True, return_inverse=True)
+    wsum = np.bincount(inv, weights=w, minlength=uniq.size)
+    ins = np.argsort(first, kind="stable")  # dict insertion order
+    k = uniq[ins]
+    return k // num_cells, k % num_cells, wsum[ins]
+
+
+def _accumulate_pairs(
+    a: np.ndarray, b: np.ndarray, w: np.ndarray, num_cells: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sum duplicate pairs and order by descending weight.
+
+    Ties in the descending-weight sort break by first-encounter order —
+    the scalar ``sorted(weights.items(), key=lambda kv: -kv[1])`` under
+    Python's stable sort."""
+    a, b, w = _dedupe_pairs(a, b, w, num_cells)
+    final = np.argsort(-w, kind="stable")
+    return a[final], b[final], w[final]
+
+
+def _pair_table(
+    netlist: Netlist, max_degree: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pairwise clique weights between movable cells (small nets only),
+    ordered by descending weight — the heavy-edge match order."""
+    from ..evaluation.wirelength import pin_arrays
+
+    pins = pin_arrays(netlist)
+    degree = pins.degree
+    nets = np.flatnonzero((degree >= 2) & (degree <= max_degree))
+    movable = netlist.movable_mask
+    parts = []
+    for d in (np.unique(degree[nets]) if nets.size else []):
+        nets_d = nets[degree[nets] == d]
+        offs = pins.net_start[nets_d][:, None] + np.arange(int(d))[None, :]
+        S = np.sort(pins.pin_cell[offs], axis=1)
+        valid = movable[S]
+        valid[:, 1:] &= S[:, 1:] != S[:, :-1]  # drop duplicate pins
+        iu, jv = np.triu_indices(int(d), 1)
+        mask = (valid[:, iu] & valid[:, jv]).ravel()
+        parts.append((
+            S[:, iu].ravel()[mask],
+            S[:, jv].ravel()[mask],
+            np.repeat(nets_d, iu.size)[mask],
+            np.repeat(pins.static_weight[nets_d] / int(d), iu.size)[mask],
+        ))
+    if not parts:
+        e = np.zeros(0, dtype=np.int64)
+        return e, e.copy(), np.zeros(0)
+    a, b, net_idx, w = (np.concatenate(cols) for cols in zip(*parts))
+    order = np.argsort(net_idx, kind="stable")  # net order = dict order
+    return a[order], b[order], w[order]
+
+
+def _connection_weights(
+    netlist: Netlist, max_degree: int
+) -> Dict[Tuple[int, int], float]:
+    """Pairwise clique weights between movable cells (small nets only).
+
+    Kept for tests/introspection; :func:`cluster_netlist` now consumes the
+    array form from :func:`_pair_table` directly.
+    """
+    a, b, w = _dedupe_pairs(*_pair_table(netlist, max_degree), netlist.num_cells)
+    return {
+        (int(x), int(y)): float(v)
+        for x, y, v in zip(a.tolist(), b.tolist(), w.tolist())
+    }
+
+
+# ----------------------------------------------------------------------
+# Matching and coarse-netlist construction
+# ----------------------------------------------------------------------
+def _match(
+    netlist: Netlist,
+    a: np.ndarray,
+    b: np.ndarray,
+    max_cluster_area: Optional[float],
+) -> np.ndarray:
+    """Greedy union-find matching over the ordered pair list.
+
+    Returns the fully-flattened parent array (every cell points directly
+    at its cluster root).
+    """
+    parent = list(range(netlist.num_cells))
+    area = netlist.areas.tolist()
+    cap = max_cluster_area
+
+    def find(i: int) -> int:
+        root = i
+        while parent[root] != root:
+            root = parent[root]
+        while parent[i] != root:  # path compression
+            parent[i], i = root, parent[i]
+        return root
+
+    for pa, pb in zip(a.tolist(), b.tolist()):
+        ra, rb = find(pa), find(pb)
+        if ra == rb:
             continue
-        w = net.weight / k
-        cells = sorted({p.cell for p in net.pins if not netlist.cells[p.cell].fixed})
-        for a in range(len(cells)):
-            for b in range(a + 1, len(cells)):
-                key = (cells[a], cells[b])
-                weights[key] = weights.get(key, 0.0) + w
-    return weights
+        if cap and area[ra] + area[rb] > cap:
+            continue
+        parent[rb] = ra
+        area[ra] += area[rb]
+    for i in range(netlist.num_cells):
+        find(i)
+    return np.asarray(parent, dtype=np.int64)
+
+
+def _build_coarse(netlist: Netlist, parent: np.ndarray) -> Clustering:
+    """Materialize the coarse netlist for a flattened parent array."""
+    from ..evaluation.wirelength import pin_arrays
+
+    num_cells = netlist.num_cells
+    root_area = np.bincount(parent, weights=netlist.areas, minlength=num_cells)
+    powers = np.fromiter(
+        (c.power for c in netlist.cells), dtype=np.float64, count=num_cells
+    )
+    root_power = np.bincount(parent, weights=powers, minlength=num_cells)
+
+    # Coarse cells: fixed cells first (original order), then cluster
+    # representatives (original index order) — the historical builder order.
+    cells: List[Cell] = []
+    coarse_of = np.full(num_cells, -1, dtype=np.int64)
+    for i, cell in enumerate(netlist.cells):
+        if cell.fixed:
+            coarse_of[i] = len(cells)
+            cells.append(Cell(
+                name=cell.name, width=cell.width, height=cell.height,
+                kind=cell.kind, fixed=True, x=cell.x, y=cell.y,
+                delay=cell.delay, input_cap=cell.input_cap,
+                power=cell.power, is_register=cell.is_register,
+            ))
+    for i, cell in enumerate(netlist.cells):
+        if cell.fixed or parent[i] != i:
+            continue
+        coarse_of[i] = len(cells)
+        cells.append(Cell(
+            name=cell.name,
+            width=float(root_area[i]) / cell.height,
+            height=cell.height,
+            kind=CellKind.BLOCK if cell.kind is CellKind.BLOCK
+            else CellKind.STANDARD,
+            delay=cell.delay,
+            power=float(root_power[i]),
+        ))
+    # Members inherit their root's coarse index in one gather (fixed cells
+    # and representatives map to themselves: parent[i] == i for both).
+    coarse_of = coarse_of[parent]
+    num_coarse = len(cells)
+
+    # Nets: collapse pins to clusters, dedupe (keeping each target's first
+    # pin), drop degenerate nets, demote extra drivers — all vectorized.
+    pins = pin_arrays(netlist)
+    if pins.pin_cell.size:
+        target = coarse_of[pins.pin_cell]
+        net_of_pin = np.repeat(
+            np.arange(netlist.num_nets, dtype=np.int64), pins.degree
+        )
+        key = net_of_pin * np.int64(num_coarse) + target
+        _, first = np.unique(key, return_index=True)
+        kept = np.sort(first)  # first occurrences, net-major in pin order
+        knet = net_of_pin[kept]
+        counts = np.bincount(knet, minlength=netlist.num_nets)
+        alive = counts[knet] >= 2
+        kept, knet = kept[alive], knet[alive]
+    else:
+        kept = knet = np.zeros(0, dtype=np.int64)
+    ktarget = coarse_of[pins.pin_cell[kept]] if kept.size else kept
+
+    nets: List[Net] = []
+    if kept.size:
+        # Directions come from the cached pin arrays — the historical
+        # generator re-walked every Pin object, a full Python pass over
+        # the netlist that dominated coarsening at 1M cells.
+        is_out = pins.pin_is_out[kept]
+        starts = np.flatnonzero(np.r_[True, knet[1:] != knet[:-1]])
+        bounds = np.r_[starts, knet.size]
+        # Collapsing can merge several drivers into one net; keep the
+        # first as the driver and demote the rest.
+        c = np.cumsum(is_out)
+        seg_base = c[starts] - is_out[starts]
+        rank = c - np.repeat(seg_base, np.diff(bounds))
+        keep_out = is_out & (rank == 1)
+
+        OUT, IN = PinDirection.OUTPUT, PinDirection.INPUT
+        new_pins = [
+            Pin(cell=cell, direction=OUT if out else IN)
+            for cell, out in zip(ktarget.tolist(), keep_out.tolist())
+        ]
+        all_nets = netlist.nets
+        for si in range(starts.size):
+            src = all_nets[int(knet[starts[si]])]
+            nets.append(Net.trusted(
+                src.name, new_pins[bounds[si]:bounds[si + 1]], src.weight
+            ))
+
+    coarse = Netlist(netlist.name + "+coarse", cells, nets)
+    return Clustering(coarse=coarse, map_to_coarse=coarse_of, original=netlist)
 
 
 def cluster_netlist(
@@ -77,99 +311,50 @@ def cluster_netlist(
     """
     if max_cluster_area is None and netlist.num_movable:
         max_cluster_area = 8.0 * netlist.average_movable_area()
-    weights = _connection_weights(netlist, max_net_degree)
-    order = sorted(weights.items(), key=lambda item: -item[1])
-
-    parent = np.arange(netlist.num_cells)
-
-    def find(i: int) -> int:
-        root = i
-        while parent[root] != root:
-            root = parent[root]
-        while parent[i] != root:  # path compression
-            parent[i], i = root, parent[i]
-        return root
-
-    area = netlist.areas.copy()
-    for (a, b), _w in order:
-        ra, rb = find(a), find(b)
-        if ra == rb:
-            continue
-        if max_cluster_area and area[ra] + area[rb] > max_cluster_area:
-            continue
-        parent[rb] = ra
-        area[ra] += area[rb]
-    # Flatten every chain so membership tests are a single lookup.
-    for i in range(netlist.num_cells):
-        find(i)
-
-    # Per-root aggregates in two bincount passes — the old per-root
-    # ``np.flatnonzero(parent == i)`` scan was O(cells^2) and dominated
-    # coarsening beyond ~10k cells.
-    root_area = np.bincount(
-        parent, weights=netlist.areas, minlength=netlist.num_cells
+    a, b, _w = _accumulate_pairs(
+        *_pair_table(netlist, max_net_degree), netlist.num_cells
     )
-    powers = np.array([c.power for c in netlist.cells])
-    root_power = np.bincount(
-        parent, weights=powers, minlength=netlist.num_cells
-    )
+    parent = _match(netlist, a, b, max_cluster_area)
+    return _build_coarse(netlist, parent)
 
-    # Build the coarse netlist: fixed cells + cluster representatives.
-    builder = NetlistBuilder(netlist.name + "+coarse")
-    coarse_of = np.full(netlist.num_cells, -1, dtype=np.int64)
-    names: List[str] = []
-    for i, cell in enumerate(netlist.cells):
-        if cell.fixed:
-            builder.add_fixed_cell(
-                cell.name, cell.width, cell.height, x=cell.x, y=cell.y,
-                kind=cell.kind, delay=cell.delay, input_cap=cell.input_cap,
-                power=cell.power, is_register=cell.is_register,
-            )
-            coarse_of[i] = len(names)
-            names.append(cell.name)
-    for i, cell in enumerate(netlist.cells):
-        if cell.fixed or parent[i] != i:
-            continue
-        width = float(root_area[i]) / cell.height
-        builder.add_cell(
-            cell.name,
-            width=width,
-            height=cell.height,
-            kind=CellKind.BLOCK if cell.kind is CellKind.BLOCK else CellKind.STANDARD,
-            delay=cell.delay,
-            power=float(root_power[i]),
+
+def cluster_netlist_multi(
+    netlist: Netlist,
+    levels: int,
+    max_net_degree: int = 10,
+) -> List[Clustering]:
+    """Coarsen ``levels`` times in a single pass.
+
+    The pair table is extracted once from the finest netlist; deeper levels
+    remap it through the latest clustering (pairs whose endpoints merged
+    collapse onto the cluster pair, weights accumulate) instead of
+    re-walking every coarse net.  The first level is identical to
+    :func:`cluster_netlist`; deeper levels use the remapped weights, which
+    approximate the coarse clique weights without the per-level extraction
+    cost.  Stops early when a pass no longer shrinks the netlist.
+    """
+    clusterings: List[Clustering] = []
+    current = netlist
+    a, b, w = _accumulate_pairs(
+        *_pair_table(netlist, max_net_degree), netlist.num_cells
+    )
+    for _ in range(levels):
+        cap = (
+            8.0 * current.average_movable_area()
+            if current.num_movable else None
         )
-        coarse_of[i] = len(names)
-        names.append(cell.name)
-    # Members inherit their root's coarse index in one gather (fixed cells
-    # and representatives map to themselves: parent[i] == i for both).
-    coarse_of = coarse_of[parent]
-
-    # Nets: collapse pins to clusters, dedupe, drop degenerate nets.
-    for net in netlist.nets:
-        seen = {}
-        pins = []
-        for pin in net.pins:
-            target = int(coarse_of[pin.cell])
-            if target in seen:
-                continue
-            seen[target] = True
-            pins.append((names[target], pin.direction.value, 0.0, 0.0))
-        if len(pins) >= 2:
-            # Collapsing can merge several drivers into one net; keep the
-            # first as the driver and demote the rest.
-            seen_output = False
-            cleaned = []
-            for name, direction, dx, dy in pins:
-                if direction == "output":
-                    if seen_output:
-                        direction = "input"
-                    seen_output = True
-                cleaned.append((name, direction, dx, dy))
-            builder.add_net(net.name, cleaned, weight=net.weight)
-
-    coarse = builder.build()
-    coarse_index = {cell.name: cell.index for cell in coarse.cells}
-    name_to_idx = np.array([coarse_index[nm] for nm in names], dtype=np.int64)
-    remap = name_to_idx[coarse_of]
-    return Clustering(coarse=coarse, map_to_coarse=remap, original=netlist)
+        parent = _match(current, a, b, cap)
+        clustering = _build_coarse(current, parent)
+        if clustering.coarse.num_movable >= current.num_movable:
+            break
+        clusterings.append(clustering)
+        ca = clustering.map_to_coarse[a]
+        cb = clustering.map_to_coarse[b]
+        keep = ca != cb
+        lo = np.minimum(ca[keep], cb[keep])
+        hi = np.maximum(ca[keep], cb[keep])
+        a, b, w = _accumulate_pairs(
+            lo, hi, w[keep], clustering.coarse.num_cells
+        )
+        current = clustering.coarse
+    return clusterings

@@ -68,6 +68,24 @@ class Net:
         if len(self.driver_pins()) > 1:
             raise ValueError(f"net {self.name!r} has multiple drivers")
 
+    @classmethod
+    def trusted(
+        cls, name: str, pins: List[Pin], weight: float = 1.0
+    ) -> "Net":
+        """Construct without ``__post_init__`` validation.
+
+        For bulk construction (coarsening, generators) where the caller
+        guarantees the invariants — at least one pin, positive weight, a
+        single driver.  The per-net ``driver_pins`` scan is the dominant
+        cost of building a 100k-net netlist.
+        """
+        net = object.__new__(cls)
+        net.name = name
+        net.pins = pins
+        net.weight = weight
+        net.index = -1
+        return net
+
     @property
     def degree(self) -> int:
         return len(self.pins)

@@ -51,13 +51,55 @@ class TestRunBench:
         assert report["hpwl_m"] > 0
         assert report["final_hpwl_m"] > 0
         assert report["cg_iterations"] > 0
-        assert set(report["phases"]) == set(REPORT_PHASES)
-        for phase in ("density", "poisson", "solve", "legalize"):
+        assert list(report["phases"]) == list(REPORT_PHASES)
+        for phase in ("density", "poisson", "solve", "snap", "improve"):
             assert report["phases"][phase] > 0.0, f"no time in {phase!r}"
         det = report["determinism"]
         assert det["deterministic"]
         assert det["hash"] == det["repeat_hash"]
         assert len(det["hash"]) == 64  # sha256 hex
+
+    def test_attribution_covers_the_wall(self):
+        report = run_bench("tiny", seed=1)
+        phases = report["phases"]
+        # Every bucket is disjoint and the residual closes the budget, so
+        # the sum reproduces the wall clock (up to per-bucket rounding).
+        assert sum(phases.values()) == pytest.approx(
+            report["total_seconds"], abs=1e-3
+        )
+        shares = report["phase_shares"]["shares"]
+        assert sum(shares.values()) == pytest.approx(1.0, abs=0.02)
+
+    def test_machine_context_recorded(self):
+        import numpy
+        import scipy
+
+        report = run_bench("tiny", seed=1, legalize=False)
+        machine = report["machine"]
+        assert machine["cpu_count"] >= 1
+        assert machine["numpy"] == numpy.__version__
+        assert machine["scipy"] == scipy.__version__
+        assert machine["python"].count(".") == 2
+        assert machine["platform"]
+
+    def test_repeat_run_reuses_setup(self):
+        report = run_bench("tiny", seed=1, legalize=False)
+        # The instrumented run builds the quadratic system and the force
+        # calculator; the determinism repeat must find both in the cache.
+        assert report["reuse"]["misses"] >= 2
+        assert report["reuse"]["hits"] >= 2
+
+    def test_profile_attaches_top_functions(self):
+        report = run_bench("tiny", seed=1, profile=True)
+        prof = report["profile"]
+        assert 0 < len(prof["place"]) <= 15
+        assert 0 < len(prof["legalize"]) <= 15
+        top = prof["place"][0]
+        assert set(top) == {"function", "ncalls", "tottime", "cumtime"}
+        assert top["cumtime"] > 0
+        # Sorted by cumulative time, descending.
+        cums = [row["cumtime"] for row in prof["place"]]
+        assert cums == sorted(cums, reverse=True)
 
 
 class TestBenchCLI:
@@ -76,13 +118,16 @@ class TestBenchCLI:
         assert report["schema"] == BENCH_SCHEMA
         assert report["sizes"] == ["tiny"]
         assert report["deterministic"] is True
-        assert report["iterations"] >= 1
-        assert report["hpwl_m"] > 0
-        assert isinstance(report["determinism_hash"], str)
-        # Top-level phases mirror the primary run.
-        assert report["phases"] == report["runs"][0]["phases"]
-        for phase in ("density", "poisson", "solve", "legalize"):
-            assert report["phases"][phase] > 0.0
+        # Runs-only schema: per-size records live in "runs", nothing is
+        # mirrored at the top level.
+        assert set(report) == {
+            "schema", "generated_at", "sizes", "deterministic", "runs"
+        }
+        run = report["runs"][0]
+        assert run["iterations"] >= 1
+        assert run["hpwl_m"] > 0
+        for phase in ("density", "poisson", "solve", "snap", "improve"):
+            assert run["phases"][phase] > 0.0
         # Trace written alongside, with a valid header line.
         first = json.loads(trace.read_text().splitlines()[0])
         assert first["type"] == "header"
@@ -93,8 +138,10 @@ class TestBenchCLI:
                    "--out", str(out)])
         assert rc == 0
         report = json.loads(out.read_text())
-        assert report["runs"][0]["legalized"] is False
-        assert report["phases"]["legalize"] == 0.0
+        run = report["runs"][0]
+        assert run["legalized"] is False
+        assert run["phases"]["snap"] == 0.0
+        assert run["phases"]["improve"] == 0.0
 
     def test_write_bench_report_multi_size_keys(self, tmp_path):
         # Only exercise the tiny size twice to keep CI fast; the size
@@ -125,6 +172,41 @@ class TestBenchCLI:
                    "--out", str(tmp_path / "b.json")])
         assert rc == 2
         assert "unknown bench size" in capsys.readouterr().err
+
+
+class TestAllocatorTuning:
+    def test_opt_out_respected(self, monkeypatch):
+        from repro import perf
+
+        monkeypatch.setenv("REPRO_NO_MALLOC_TUNE", "1")
+        monkeypatch.setattr(perf, "_tuned", False)
+        monkeypatch.setattr(perf, "_mallopt", None)
+        assert perf.tune_allocator() is False
+
+    def test_idempotent_once_tuned(self, monkeypatch):
+        from repro import perf
+
+        monkeypatch.setattr(perf, "_tuned", True)
+        assert perf.tune_allocator() is True
+
+    def test_improver_scope_is_noop_when_opted_out(self, monkeypatch):
+        from repro import perf
+
+        monkeypatch.setenv("REPRO_NO_MALLOC_TUNE", "1")
+        monkeypatch.setattr(perf, "_tuned", False)
+        monkeypatch.setattr(perf, "_mallopt", None)
+        with perf.improver_alloc_scope():
+            assert perf._tuned is False
+
+    def test_improver_scope_stays_in_heap_mode_at_scale(self, monkeypatch):
+        from repro import perf
+
+        def boom():
+            raise AssertionError("mmap pin must not engage above crossover")
+
+        monkeypatch.setattr(perf, "tune_allocator", boom)
+        with perf.improver_alloc_scope(perf.MMAP_SCOPE_MAX_CELLS + 1):
+            pass
 
 
 class TestPhaseShares:

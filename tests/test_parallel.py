@@ -352,10 +352,17 @@ class TestBatchAggregates:
     def test_merge_batch_record(self, batch, tmp_path):
         result, _ = batch
         bench = tmp_path / "BENCH.json"
-        bench.write_text(json.dumps({"schema": "repro-bench/1", "hpwl_m": 1.0}))
+        # A pre-repro-bench/2 report: top-level mirror keys (hpwl_m, …) are
+        # stripped by the compat shim, real content (runs) is preserved.
+        bench.write_text(json.dumps({
+            "schema": "repro-bench/1", "hpwl_m": 1.0,
+            "runs": [{"size": "tiny"}],
+        }))
         data = merge_batch_record(bench, result.summary())
         on_disk = json.loads(bench.read_text())
-        assert on_disk["hpwl_m"] == 1.0  # existing report preserved
+        assert on_disk["schema"] == "repro-bench/2"
+        assert "hpwl_m" not in on_disk  # legacy mirror stripped
+        assert on_disk["runs"] == [{"size": "tiny"}]  # report preserved
         assert on_disk["batch"]["n_jobs"] == 3
         assert "jobs" not in on_disk["batch"]  # headline scalars only
         assert data == on_disk
