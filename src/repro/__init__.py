@@ -30,6 +30,8 @@ Sub-packages:
 - :mod:`repro.evaluation` — wire length, overlap and report helpers.
 - :mod:`repro.observability` — span timers, metric streams, trace export
   and the ``repro bench`` regression harness.
+- :mod:`repro.service` — the fault-tolerant placement service: supervised
+  worker pool, retry/backoff, checkpoint migration, admission control.
 """
 
 from .backend import available_backends, resolve_backend
@@ -111,6 +113,7 @@ from .api import (
     FlowResult,
     place,
     place_many,
+    place_service,
     region_for_netlist,
     resolve_source,
 )
@@ -120,8 +123,15 @@ from .parallel import (
     PlacementJob,
     run_batch,
 )
+from .service import (
+    PlacementService,
+    RetryPolicy,
+    ServiceConfig,
+    ServiceJob,
+    serve_jobs,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "available_backends",
@@ -194,10 +204,16 @@ __all__ = [
     "FlowResult",
     "place",
     "place_many",
+    "place_service",
     "region_for_netlist",
     "resolve_source",
     "BatchResult",
     "JobResult",
     "PlacementJob",
     "run_batch",
+    "PlacementService",
+    "RetryPolicy",
+    "ServiceConfig",
+    "ServiceJob",
+    "serve_jobs",
 ]

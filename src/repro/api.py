@@ -306,7 +306,41 @@ def place_many(
     uses the CPU count, ``0`` runs serially in-process (the determinism
     baseline), ``N >= 1`` uses a process pool.
     """
-    from .parallel import PlacementJob, run_batch
+    from .parallel import run_batch
+
+    jobs = _jobs_for(
+        sources,
+        seeds=seeds,
+        config=config,
+        legalize=legalize,
+        scale=scale,
+        utilization=utilization,
+        max_iterations=max_iterations,
+    )
+    return run_batch(
+        jobs,
+        workers=workers,
+        mp_context=mp_context,
+        trace_dir=trace_dir,
+        progress=progress,
+        keep_placements=keep_placements,
+    )
+
+
+def _jobs_for(
+    sources,
+    *,
+    seeds,
+    config,
+    legalize,
+    scale,
+    utilization,
+    max_iterations,
+):
+    """The sources/seeds fan-out shared by :func:`place_many` and
+    :func:`place_service`: one source x N seeds, N sources, or prebuilt
+    :class:`~repro.parallel.PlacementJob` specs used verbatim."""
+    from .parallel import PlacementJob
 
     if isinstance(config, PlacerConfig):
         config = config.to_dict()
@@ -327,15 +361,15 @@ def place_many(
     if is_sequence and sources and all(
         isinstance(s, PlacementJob) for s in sources
     ):
-        jobs = list(sources)
-    elif is_sequence:
+        return list(sources)
+    if is_sequence:
         seed_list = list(seeds) if seeds is not None else None
         if seed_list is not None and len(seed_list) != len(sources):
             raise ValueError(
                 f"{len(seed_list)} seeds for {len(sources)} sources; pass "
                 "one seed per source (or a single source to fan out seeds)"
             )
-        jobs = [
+        return [
             PlacementJob(
                 source=src,
                 seed=seed_list[i] if seed_list is not None else 0,
@@ -343,19 +377,46 @@ def place_many(
             )
             for i, src in enumerate(sources)
         ]
-    else:
-        seed_list = list(seeds) if seeds is not None else [0]
-        jobs = [
-            PlacementJob(source=sources, seed=s, **common) for s in seed_list
-        ]
-    return run_batch(
-        jobs,
-        workers=workers,
-        mp_context=mp_context,
-        trace_dir=trace_dir,
-        progress=progress,
-        keep_placements=keep_placements,
+    seed_list = list(seeds) if seeds is not None else [0]
+    return [PlacementJob(source=sources, seed=s, **common) for s in seed_list]
+
+
+def place_service(
+    sources: Union[PlaceSource, Sequence[Any]],
+    *,
+    seeds: Optional[Iterable[int]] = None,
+    config: Optional[Union[PlacerConfig, Dict[str, Any]]] = None,
+    legalize: bool = True,
+    scale: float = 0.2,
+    utilization: float = 0.8,
+    max_iterations: Optional[int] = None,
+    service_config=None,
+    events=None,
+) -> Dict[str, Any]:
+    """Place sources/seeds through the fault-tolerant service; returns
+    the service report (schema ``repro-service/1``).
+
+    Same fan-out semantics as :func:`place_many`, but jobs run under the
+    supervised worker pool of :mod:`repro.service`: a worker that dies or
+    hangs mid-job is restarted and the job retried (resuming from its
+    checkpoint when *service_config* sets ``checkpoint_dir``), so every
+    job either reports an HPWL bit-identical to a serial run or fails
+    with a structured, attributed reason.  *service_config* is a
+    :class:`~repro.service.ServiceConfig`; *events* an event log or a
+    JSONL path for the lifecycle trace.
+    """
+    from .service import serve_jobs
+
+    jobs = _jobs_for(
+        sources,
+        seeds=seeds,
+        config=config,
+        legalize=legalize,
+        scale=scale,
+        utilization=utilization,
+        max_iterations=max_iterations,
     )
+    return serve_jobs(jobs, config=service_config, events=events)
 
 
 __all__ = [
@@ -363,6 +424,7 @@ __all__ = [
     "PlaceSource",
     "place",
     "place_many",
+    "place_service",
     "region_for_netlist",
     "resolve_source",
 ]

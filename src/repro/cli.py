@@ -11,6 +11,10 @@ Commands
 ``convert``  convert between the repro text format and Bookshelf.
 ``bench``    place + legalize the generator circuits under telemetry and
              write the ``BENCH_kraftwerk.json`` regression report.
+``serve``    run the fault-tolerant placement service over a jobs file or
+             a spool directory (supervised workers, retries, migration).
+``submit``   drop one job spec into a ``repro serve --spool`` directory
+             (optionally waiting for its result file).
 
 Examples::
 
@@ -25,6 +29,9 @@ Examples::
     python -m repro convert --netlist out/primary1.netlist \
         --placement out/primary1.placement --bookshelf out/primary1
     python -m repro bench --sizes tiny,small
+    python -m repro serve --jobs jobs.json --workers 2 --out report.json
+    python -m repro serve --spool /tmp/spool --workers 2 --drain-idle 5 &
+    python -m repro submit --spool /tmp/spool --circuit tiny --seed 3 --wait
 """
 
 from __future__ import annotations
@@ -342,6 +349,18 @@ def cmd_batch(args) -> int:
 
         merge_batch_record(args.record_bench, summary)
         print(f"recorded batch run in {args.record_bench}")
+    if failed:
+        from collections import Counter
+
+        classes = Counter(j.error_type or "unknown" for j in failed)
+        print("failure classes : "
+              + ", ".join(f"{name} x{count}"
+                          for name, count in sorted(classes.items())),
+              file=sys.stderr)
+        if not ok:
+            # Same contract as the single-run CLI: exit 2 when *nothing*
+            # succeeded (vs 1 for a partial failure).
+            return 2
     if failed or identical is False:
         return 1
     return 0
@@ -529,6 +548,262 @@ def cmd_bench(args) -> int:
     return 0 if report["deterministic"] else 1
 
 
+def _load_job_specs(path) -> list:
+    """Read a jobs file: a JSON list of specs, or ``{"jobs": [...]}``."""
+    import json as _json
+
+    data = _json.loads(Path(path).read_text(encoding="utf-8"))
+    if isinstance(data, dict):
+        data = data.get("jobs")
+    if not isinstance(data, list):
+        raise SystemExit(f"{path}: expected a JSON list of job specs "
+                         f"(or an object with a 'jobs' list)")
+    return [dict(spec) for spec in data]
+
+
+def _write_result_file(results_dir: Path, job_id: str, payload: dict) -> Path:
+    """Atomically write one job's result JSON (write-tmp-then-rename)."""
+    import json as _json
+
+    results_dir.mkdir(parents=True, exist_ok=True)
+    final = results_dir / f"{job_id}.json"
+    tmp = results_dir / f".{job_id}.json.tmp"
+    tmp.write_text(
+        _json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    tmp.replace(final)
+    return final
+
+
+def _print_job_result(summary: dict) -> None:
+    state = summary.get("state")
+    job_id = summary.get("job_id")
+    if state == "done":
+        hpwl = summary.get("final_hpwl_m") or summary.get("hpwl_m")
+        attempts = summary.get("n_attempts", 1)
+        line = f"  {job_id}: done, hpwl {hpwl:.4f} m"
+        if attempts > 1:
+            line += f" ({attempts} attempts)"
+        print(line, flush=True)
+    else:
+        reason = summary.get("reason") or summary.get("error")
+        print(f"  {job_id}: {state} ({reason})", flush=True)
+
+
+def _serve_spool(service, spool: Path, drain_idle: float) -> None:
+    """Serve job specs dropped into ``spool/incoming`` until idle.
+
+    Each ``*.json`` spec file is consumed (unlinked) once submitted; each
+    finished job writes ``spool/results/<id>.json`` atomically, so a
+    ``repro submit --wait`` poller never reads a torn result.  The loop
+    exits after *drain_idle* seconds with nothing queued, running or
+    arriving.
+    """
+    import json as _json
+
+    from .service import ServiceJob
+
+    incoming = spool / "incoming"
+    results = spool / "results"
+    incoming.mkdir(parents=True, exist_ok=True)
+    results.mkdir(parents=True, exist_ok=True)
+    written = set()
+    last_activity = time.monotonic()
+    print(f"serve: spooling from {incoming} "
+          f"(drain after {drain_idle:g}s idle)", flush=True)
+    while True:
+        now = time.monotonic()
+        for path in sorted(incoming.glob("*.json")):
+            last_activity = now
+            try:
+                spec = _json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError) as exc:
+                _write_result_file(results, path.stem, {
+                    "job_id": path.stem, "state": "failed",
+                    "failure_class": "rejected",
+                    "reason": f"malformed spec: {exc}",
+                })
+                written.add(path.stem)
+                path.unlink(missing_ok=True)
+                continue
+            path.unlink(missing_ok=True)
+            job_id = str(spec.pop("id", None) or path.stem)
+            if job_id in written or service.record(job_id) is not None:
+                print(f"  duplicate job id {job_id!r}; ignoring",
+                      file=sys.stderr)
+                continue
+            try:
+                service.submit(ServiceJob.from_spec(spec, job_id=job_id))
+            except ValueError as exc:
+                _write_result_file(results, job_id, {
+                    "job_id": job_id, "state": "failed",
+                    "failure_class": "rejected", "reason": str(exc),
+                })
+                written.add(job_id)
+        pending = False
+        for record in service.records():
+            if record.state.value in ("queued", "running"):
+                pending = True
+            elif record.job_id not in written:
+                summary = record.summary()
+                _write_result_file(results, record.job_id, summary)
+                written.add(record.job_id)
+                _print_job_result(summary)
+                last_activity = now
+        if pending:
+            last_activity = now
+        elif now - last_activity > drain_idle:
+            return
+        time.sleep(0.1)
+
+
+def cmd_serve(args) -> int:
+    from .service import (
+        PlacementService,
+        RetryPolicy,
+        ServiceConfig,
+        ServiceJob,
+    )
+
+    if bool(args.jobs_file) == bool(args.spool):
+        raise SystemExit("serve needs exactly one of --jobs FILE or "
+                         "--spool DIR")
+    retry_on = tuple(
+        s.strip() for s in args.retry_on.split(",") if s.strip()
+    )
+    config = ServiceConfig(
+        workers=args.workers,
+        mp_context=args.mp_context,
+        job_timeout_seconds=args.job_timeout,
+        retry=RetryPolicy(
+            max_attempts=args.max_attempts,
+            retry_on=retry_on,
+            backoff_base_s=args.backoff_base,
+            backoff_cap_s=args.backoff_cap,
+        ),
+        max_queue_depth=args.max_queue_depth,
+        tenant_quota=args.tenant_quota,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        trace_dir=args.trace_dir,
+    )
+    parse_rejects = 0
+    with PlacementService(config, events=args.events) as service:
+        if args.jobs_file:
+            specs = _load_job_specs(args.jobs_file)
+            print(f"serve: {len(specs)} jobs, {args.workers} workers "
+                  f"({service.pool.mp_context})", flush=True)
+            for index, spec in enumerate(specs):
+                job_id = str(spec.pop("id", None) or f"j{index + 1:05d}")
+                try:
+                    ticket = service.submit(
+                        ServiceJob.from_spec(spec, job_id=job_id)
+                    )
+                except ValueError as exc:
+                    parse_rejects += 1
+                    print(f"  rejected {job_id}: {exc}", file=sys.stderr)
+                    continue
+                if not ticket.admitted:
+                    print(f"  shed {job_id}: {ticket.reason}",
+                          file=sys.stderr)
+            for record in service.drain():
+                if record.state.value not in ("shed",):
+                    _print_job_result(record.summary())
+        else:
+            _serve_spool(service, Path(args.spool), args.drain_idle)
+            service.drain()
+        report = service.report()
+
+    print(f"serve summary   : {report['n_done']}/{report['n_submitted']} "
+          f"done, {report['n_failed']} failed, {report['n_shed']} shed, "
+          f"{report['retries']} retries")
+    worker = report["worker"]
+    print(f"workers         : {worker['spawns']} spawns, "
+          f"{worker['deaths']} deaths, {worker['restarts']} restarts")
+    latency = report["latency"]
+    if latency["n"]:
+        print(f"latency         : p50 {latency['p50_s']:.3f}s, "
+              f"p99 {latency['p99_s']:.3f}s over {latency['n']} jobs")
+    if report["failure_classes"]:
+        print("failure classes : "
+              + ", ".join(f"{name} x{count}" for name, count
+                          in sorted(report["failure_classes"].items())),
+              file=sys.stderr)
+    if args.out:
+        import json as _json
+
+        out = Path(args.out)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            _json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.out}")
+    if args.record_bench:
+        from .observability.bench import merge_service_record
+
+        bench_record = {k: v for k, v in report.items() if k != "jobs"}
+        merge_service_record(args.record_bench, bench_record)
+        print(f"recorded service run in {args.record_bench}")
+
+    total = report["n_submitted"] + parse_rejects
+    bad = (report["n_failed"] + report["n_shed"]
+           + report["n_cancelled"] + parse_rejects)
+    if total > 0 and report["n_done"] == 0:
+        return 2  # nothing succeeded — same contract as batch/place
+    return 1 if bad else 0
+
+
+def cmd_submit(args) -> int:
+    import json as _json
+    import os
+
+    spool = Path(args.spool)
+    incoming = spool / "incoming"
+    incoming.mkdir(parents=True, exist_ok=True)
+    source = _batch_source(args)
+    job_id = args.id or (
+        f"{Path(str(source)).stem}-s{args.seed}"
+        f"-{os.getpid()}-{time.time_ns() % 1_000_000_000}"
+    )
+    spec = {
+        "id": job_id,
+        "source": str(source),
+        "seed": args.seed,
+        "scale": args.scale,
+        "utilization": args.utilization,
+        "legalize": not args.no_legalize,
+        "priority": args.priority,
+        "tenant": args.tenant,
+    }
+    if args.max_iterations is not None:
+        spec["max_iterations"] = args.max_iterations
+    if args.timeout is not None:
+        spec["timeout_seconds"] = args.timeout
+    # Write-tmp-then-rename so the server's glob never sees a torn spec.
+    tmp = incoming / f".{job_id}.json.tmp"
+    final = incoming / f"{job_id}.json"
+    tmp.write_text(
+        _json.dumps(spec, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    tmp.replace(final)
+    print(f"submitted {job_id} -> {final}")
+    if not args.wait:
+        return 0
+    result_path = spool / "results" / f"{job_id}.json"
+    deadline = time.monotonic() + args.wait_timeout
+    while time.monotonic() < deadline:
+        if result_path.exists():
+            summary = _json.loads(result_path.read_text(encoding="utf-8"))
+            _print_job_result(summary)
+            return 0 if summary.get("state") == "done" else 1
+        time.sleep(0.2)
+    print(f"timed out waiting for {result_path}", file=sys.stderr)
+    return 1
+
+
 def cmd_convert(args) -> int:
     netlist, region = _load_design(args)
     placement = (
@@ -664,6 +939,90 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--trace",
                          help="also write the primary run's JSONL trace here")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the fault-tolerant placement service"
+    )
+    p_serve.add_argument("--jobs", dest="jobs_file", metavar="FILE",
+                         help="JSON jobs file (list of job specs); serve "
+                              "them all, drain, and exit")
+    p_serve.add_argument("--spool", metavar="DIR",
+                         help="watch DIR/incoming/*.json for job specs and "
+                              "write DIR/results/<id>.json as jobs finish")
+    p_serve.add_argument("--drain-idle", type=float, default=10.0,
+                         dest="drain_idle", metavar="SECONDS",
+                         help="spool mode: exit after this long with no "
+                              "arrivals and nothing in flight (default 10)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="supervised worker processes (default 2)")
+    p_serve.add_argument("--mp-context", default="auto", dest="mp_context",
+                         choices=["auto", "fork", "spawn", "forkserver"])
+    p_serve.add_argument("--max-queue-depth", type=int, default=64,
+                         dest="max_queue_depth", metavar="N",
+                         help="admission bound on waiting jobs (default 64)")
+    p_serve.add_argument("--tenant-quota", type=int, default=None,
+                         dest="tenant_quota", metavar="N",
+                         help="max queued+running jobs per tenant "
+                              "(default: no quota)")
+    p_serve.add_argument("--job-timeout", type=float, default=None,
+                         dest="job_timeout", metavar="SECONDS",
+                         help="per-job wall-clock watchdog (default: none)")
+    p_serve.add_argument("--max-attempts", type=int, default=3,
+                         dest="max_attempts", metavar="N",
+                         help="attempts per job incl. the first (default 3)")
+    p_serve.add_argument("--retry-on",
+                         default="worker_death,timeout,numerical",
+                         dest="retry_on",
+                         help="comma-separated retryable failure classes "
+                              "(default worker_death,timeout,numerical)")
+    p_serve.add_argument("--backoff-base", type=float, default=0.05,
+                         dest="backoff_base", metavar="SECONDS")
+    p_serve.add_argument("--backoff-cap", type=float, default=2.0,
+                         dest="backoff_cap", metavar="SECONDS")
+    p_serve.add_argument("--checkpoint-dir", metavar="DIR",
+                         dest="checkpoint_dir",
+                         help="per-job snapshots under DIR (enables "
+                              "cross-worker migration on retry)")
+    p_serve.add_argument("--checkpoint-every", type=int, default=5,
+                         dest="checkpoint_every", metavar="N",
+                         help="iterations between snapshots (default 5)")
+    p_serve.add_argument("--trace-dir", metavar="DIR", dest="trace_dir",
+                         help="per-job JSONL telemetry traces under DIR")
+    p_serve.add_argument("--events", metavar="PATH",
+                         help="stream lifecycle events to this JSONL file")
+    p_serve.add_argument("--out", help="write the service report JSON here")
+    p_serve.add_argument("--record-bench", metavar="PATH",
+                         dest="record_bench",
+                         help="merge the service record into this "
+                              "BENCH_kraftwerk.json")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="drop one job into a serve --spool directory"
+    )
+    _add_design_args(p_submit)
+    p_submit.add_argument("--spool", required=True, metavar="DIR",
+                          help="the spool directory repro serve watches")
+    p_submit.add_argument("--id", help="job id (default: derived, unique)")
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--max-iterations", type=int, default=None,
+                          dest="max_iterations", metavar="N")
+    p_submit.add_argument("--no-legalize", action="store_true",
+                          dest="no_legalize",
+                          help="skip legalization for this job")
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="queue priority; lower runs first (default 0)")
+    p_submit.add_argument("--tenant", default="default",
+                          help="tenant for quota accounting")
+    p_submit.add_argument("--timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-job wall-clock watchdog override")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="poll for the result file and print it")
+    p_submit.add_argument("--wait-timeout", type=float, default=300.0,
+                          dest="wait_timeout", metavar="SECONDS",
+                          help="--wait deadline (default 300)")
+    p_submit.set_defaults(func=cmd_submit)
 
     p_convert = sub.add_parser("convert", help="export to Bookshelf")
     _add_design_args(p_convert)

@@ -6,6 +6,7 @@ from .checkpoint import (
     load_checkpoint,
     netlist_signature,
     save_checkpoint,
+    try_load_checkpoint,
 )
 from .config import PlacerConfig, STANDARD_K, FAST_K
 from .density import DensityModel, DensityResult, density_grid, splat_bilinear
@@ -56,6 +57,7 @@ __all__ = [
     "load_checkpoint",
     "netlist_signature",
     "save_checkpoint",
+    "try_load_checkpoint",
     "HealthGuard",
     "NumericalHealthError",
     "array_stats",

@@ -17,11 +17,14 @@ design.  See ``docs/ROBUSTNESS.md`` for the format contract.
 from __future__ import annotations
 
 import json
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 import numpy as np
+
+from . import health
 
 CHECKPOINT_SCHEMA = "repro-checkpoint/1"
 
@@ -101,8 +104,29 @@ def save_checkpoint(path: PathLike, ckpt: PlacerCheckpoint) -> Path:
         np.savez(f, meta=np.frombuffer(
             json.dumps(meta).encode("utf-8"), dtype=np.uint8
         ), **arrays)
+    if health._FAULT_HOOKS:
+        # Chaos hook between tmp-write and commit: a kill injected here is
+        # the torn-write scenario the atomic rename protects against.
+        health.fire_hook("checkpoint", "pre_rename", tmp, path)
     tmp.replace(path)
+    if health._FAULT_HOOKS:
+        health.fire_hook("checkpoint", "post_rename", tmp, path)
     return path
+
+
+def try_load_checkpoint(path: PathLike) -> Optional[PlacerCheckpoint]:
+    """:func:`load_checkpoint`, but ``None`` for missing/torn/corrupt files.
+
+    The retry/migration path uses this: a snapshot that cannot be read
+    (never written, truncated mid-write by a crash, or garbage on disk)
+    means "start fresh", not "fail the job" — a fresh start is
+    bit-identical to the uninterrupted run anyway, it just costs the
+    already-done iterations again.
+    """
+    try:
+        return load_checkpoint(path)
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+        return None
 
 
 def load_checkpoint(path: PathLike) -> PlacerCheckpoint:

@@ -167,8 +167,30 @@ class HealthGuard:
 #: - ``"cg"``:     hook(result: SolveResult, A, b) -> SolveResult | None —
 #:   may replace the CG result (called once per conjugate_gradient).
 #: - ``"iteration"``: hook(iteration: int) -> None — called at the top of
-#:   every placement transformation (e.g. to burn the wall-clock deadline).
+#:   every placement transformation (e.g. to burn the wall-clock deadline,
+#:   kill the worker process, or hang it mid-job).
+#: - ``"checkpoint"``: hook(stage: str, tmp: Path, path: Path) -> None —
+#:   called by :func:`repro.core.checkpoint.save_checkpoint` at
+#:   ``"pre_rename"`` (tmp file written, atomic rename pending) and
+#:   ``"post_rename"`` (snapshot committed), so torn-write and
+#:   corrupted-snapshot scenarios can be injected deterministically.
+#: - ``"worker_start"``: hook(worker_id: int) -> None — called once in a
+#:   service worker's initializer (e.g. to simulate a slow cold start).
+#: - ``"worker_job"``: hook(worker_id: int, token: str) -> None — called
+#:   in a service worker immediately before each job it executes.
 _FAULT_HOOKS: Dict[str, Callable] = {}
+
+
+def fire_hook(site: str, *args, **kwargs):
+    """Invoke the hook at *site* if one is installed (else no-op).
+
+    Production call sites guard with ``if _FAULT_HOOKS:`` first, so the
+    cost with no harness installed stays one dict truthiness check.
+    """
+    hook = _FAULT_HOOKS.get(site)
+    if hook is not None:
+        return hook(*args, **kwargs)
+    return None
 
 
 def install_fault_hook(site: str, hook: Callable) -> None:

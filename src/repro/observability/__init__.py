@@ -8,6 +8,8 @@ wall-clock and work counters to each.  This package provides:
   counters and a zero-overhead null implementation,
 - :mod:`~repro.observability.metrics` — per-iteration metric streams,
 - :mod:`~repro.observability.trace` — JSONL trace + JSON summary export,
+- :mod:`~repro.observability.events` — the service lifecycle event log
+  (JSONL stream + counters + latency percentiles),
 - :mod:`~repro.observability.bench` — the ``repro bench`` regression
   harness that seeds and regenerates ``BENCH_kraftwerk.json``
   (imported lazily by the CLI; importing it pulls in the placer).
@@ -31,6 +33,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List
 
+from .events import EVENT_SCHEMA, EventLog, latency_summary, percentile
 from .metrics import MetricStream, NullMetricStream, NULL_STREAM
 from .spans import NullRecorder, NullSpan, NULL_RECORDER, Span, SpanRecorder
 from .trace import (
@@ -112,6 +115,10 @@ NULL_TELEMETRY = NullTelemetry()
 
 
 __all__ = [
+    "EVENT_SCHEMA",
+    "EventLog",
+    "latency_summary",
+    "percentile",
     "MetricStream",
     "NullMetricStream",
     "NULL_STREAM",

@@ -95,6 +95,21 @@ def _job_payload(
     }
 
 
+def _worker_initializer() -> None:
+    """Pool-worker bootstrap, run once per worker under any start method.
+
+    Re-installs fault hooks declared in the :data:`~repro.testing.faults
+    .FAULT_SPEC_ENV` environment variable.  Under ``fork`` the parent's
+    in-memory hook registry is inherited anyway; under ``spawn`` and
+    ``forkserver`` the worker starts from a clean interpreter and this
+    module-level re-install is the only way injection reaches it — which
+    is exactly what the chaos suite exercises on the start-method matrix.
+    """
+    from ..testing.faults import install_env_hooks
+
+    install_env_hooks()
+
+
 def _execute_job(payload: Dict[str, Any]) -> JobResult:
     """Run one job to completion inside the current process.
 
@@ -105,6 +120,7 @@ def _execute_job(payload: Dict[str, Any]) -> JobResult:
     from contextlib import ExitStack
 
     from ..api import place
+    from ..core.checkpoint import try_load_checkpoint
     from ..observability import Telemetry
 
     name = payload["name"]
@@ -114,9 +130,16 @@ def _execute_job(payload: Dict[str, Any]) -> JobResult:
     t0 = time.perf_counter()
     try:
         resume_from = None
+        resumed_iteration = None
         ckpt_path = payload["config"].get("checkpoint_path")
-        if payload["resume"] and ckpt_path and Path(ckpt_path).exists():
-            resume_from = ckpt_path
+        if payload["resume"] and ckpt_path:
+            # A missing or corrupt (torn-write) snapshot means "start
+            # fresh", never "fail the job": fresh runs are bit-identical
+            # to resumed ones, resume only saves the redone iterations.
+            ckpt = try_load_checkpoint(ckpt_path)
+            if ckpt is not None:
+                resume_from = ckpt
+                resumed_iteration = int(ckpt.iteration)
         with ExitStack() as stack:
             for site, kwargs in payload["inject_faults"]:
                 stack.enter_context(_fault_context(site, **kwargs))
@@ -155,6 +178,7 @@ def _execute_job(payload: Dict[str, Any]) -> JobResult:
             trace_path=trace_path,
             phases=phases,
             flow=flow if payload["keep_placements"] else None,
+            resumed_iteration=resumed_iteration,
         )
     except Exception as exc:  # noqa: BLE001 — isolation is the contract
         return JobResult(
@@ -170,18 +194,9 @@ def _execute_job(payload: Dict[str, Any]) -> JobResult:
 
 def _fault_context(site: str, **kwargs):
     """Resolve a job-spec fault name to its repro.testing.faults installer."""
-    from ..testing import faults
+    from ..testing.faults import resolve_fault
 
-    factories = {
-        "corrupt_field": faults.corrupt_field,
-        "fail_cg": faults.fail_cg,
-        "burn_deadline": faults.burn_deadline,
-    }
-    if site not in factories:
-        raise ValueError(
-            f"unknown fault site {site!r}; choose from {sorted(factories)}"
-        )
-    return factories[site](**kwargs)
+    return resolve_fault(site, **kwargs)
 
 
 def run_batch(
@@ -240,7 +255,9 @@ def run_batch(
         context_name = context.get_start_method()
         done_count = 0
         with ProcessPoolExecutor(
-            max_workers=min(n_workers, total), mp_context=context
+            max_workers=min(n_workers, total),
+            mp_context=context,
+            initializer=_worker_initializer,
         ) as pool:
             pending = {
                 pool.submit(_execute_job, payload): i

@@ -102,6 +102,9 @@ class JobResult:
     phases: Dict[str, float] = field(default_factory=dict)
     #: Full flow result (with placements) when the engine kept them.
     flow: Optional[FlowResult] = None
+    #: Iteration the run resumed from when a valid checkpoint was picked
+    #: up (``None`` for a fresh start) — how the service proves migration.
+    resumed_iteration: Optional[int] = None
 
     def summary(self) -> Dict[str, Any]:
         """JSON-safe scalar summary of this job."""
@@ -122,6 +125,7 @@ class JobResult:
             "error_type": self.error_type,
             "trace_path": self.trace_path,
             "phases": {k: round(v, 6) for k, v in self.phases.items()},
+            "resumed_iteration": self.resumed_iteration,
         }
 
 

@@ -1,0 +1,61 @@
+"""Fault-tolerant placement service: pool, supervisor, admission.
+
+The batch engine (:mod:`repro.parallel`) runs a fixed list of jobs and
+exits; this package keeps placing *indefinitely* under real-world failure
+— worker processes that die, hang, start slowly, or tear a checkpoint
+mid-write — without losing answers or changing them.  The guarantees:
+
+- every admitted job either completes with an HPWL **bit-identical** to a
+  serial run of the same spec (retries and cross-worker checkpoint
+  migration included), or fails with a structured, attributed reason;
+- jobs the service cannot serve are shed at admission with a reason, not
+  queued without bound;
+- every lifecycle transition is one event in a JSONL trace, and the
+  summary report is computed from the same counters the trace writes.
+
+Layering (each module only knows the one below):
+
+- :mod:`~repro.service.pool` — supervised worker processes: pipes,
+  heartbeats, sentinels, capped-backoff respawns;
+- :mod:`~repro.service.supervisor` — priority queue, per-job watchdogs,
+  retry policy, checkpoint migration, drain;
+- :mod:`~repro.service.admission` — bounded queue, tenant quotas,
+  lifecycle (accepting/draining/closed);
+- :mod:`~repro.service.jobs` — job specs, retry policy, records.
+"""
+
+from .admission import AdmissionController, AdmissionDecision, SHED_REASONS
+from .jobs import (
+    FAILURE_CLASSES,
+    AttemptRecord,
+    JobRecord,
+    JobState,
+    RetryPolicy,
+    SERVICE_SCHEMA,
+    ServiceJob,
+    SubmitResult,
+    classify_failure,
+)
+from .pool import WorkerDeath, WorkerHandle, WorkerPool
+from .supervisor import PlacementService, ServiceConfig, serve_jobs
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AttemptRecord",
+    "FAILURE_CLASSES",
+    "JobRecord",
+    "JobState",
+    "PlacementService",
+    "RetryPolicy",
+    "SERVICE_SCHEMA",
+    "SHED_REASONS",
+    "ServiceJob",
+    "ServiceConfig",
+    "SubmitResult",
+    "WorkerDeath",
+    "WorkerHandle",
+    "WorkerPool",
+    "classify_failure",
+    "serve_jobs",
+]

@@ -1,0 +1,95 @@
+"""Admission control and load shedding for the placement service.
+
+A long-lived service facing heavy traffic must refuse work it cannot
+serve rather than queue without bound: an unbounded queue converts
+overload into unbounded latency for *everyone*, while shedding at the
+door keeps latency bounded for the jobs that are admitted and gives the
+caller a structured, attributed reason to retry elsewhere or later.
+
+The controller is deliberately tiny and synchronous — one decision per
+submit, under the supervisor's lock — and knows three things: the queue
+depth bound, per-tenant quotas (queued + running jobs per tenant), and
+the service lifecycle state (``accepting`` → ``draining`` → ``closed``).
+Draining is the graceful-shutdown half of admission: a draining service
+sheds every new job with reason ``"draining"`` while the jobs already
+admitted run to completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: Shed reasons the controller can attach to a rejection.
+SHED_REASONS = ("queue_full", "tenant_quota", "draining", "closed")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    reason: Optional[str] = None  # one of SHED_REASONS when rejected
+
+
+class AdmissionController:
+    """Bounded-queue + per-tenant-quota + lifecycle admission policy.
+
+    ``max_queue_depth`` bounds jobs *waiting* (queued or in retry
+    backoff); running jobs have already been admitted and hold worker
+    slots, not queue slots.  ``tenant_quota`` bounds each tenant's total
+    in-flight load (queued + running), so one tenant cannot starve the
+    rest even below the global bound; ``None`` disables quotas.
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: int = 64,
+        tenant_quota: Optional[int] = None,
+    ):
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ValueError(
+                f"tenant_quota must be >= 1 (or None), got {tenant_quota}"
+            )
+        self.max_queue_depth = max_queue_depth
+        self.tenant_quota = tenant_quota
+        self.state = "accepting"
+
+    # -- lifecycle -------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Stop admitting; already-admitted jobs keep running."""
+        if self.state == "accepting":
+            self.state = "draining"
+
+    def close(self) -> None:
+        self.state = "closed"
+
+    # -- policy ----------------------------------------------------------
+    def decide(
+        self,
+        tenant: str,
+        queue_depth: int,
+        tenant_load: Dict[str, int],
+    ) -> AdmissionDecision:
+        """Admit or shed one job given the current load picture.
+
+        *queue_depth* counts waiting jobs; *tenant_load* maps tenant to
+        queued + running job count.
+        """
+        if self.state != "accepting":
+            return AdmissionDecision(False, self.state)
+        if queue_depth >= self.max_queue_depth:
+            return AdmissionDecision(False, "queue_full")
+        if (
+            self.tenant_quota is not None
+            and tenant_load.get(tenant, 0) >= self.tenant_quota
+        ):
+            return AdmissionDecision(False, "tenant_quota")
+        return AdmissionDecision(True)
+
+
+__all__ = ["AdmissionController", "AdmissionDecision", "SHED_REASONS"]

@@ -1,0 +1,280 @@
+"""Service-level job specs, retry policy and per-job records.
+
+A service job is a :class:`~repro.parallel.jobs.PlacementJob` (the pure,
+picklable spec the batch engine already runs) wrapped with the serving
+concerns the batch engine does not have: identity (``job_id``), queue
+``priority``, a ``tenant`` for quota accounting, a hard per-job wall-clock
+``timeout_seconds`` watchdog, and a :class:`RetryPolicy`.
+
+Because every job is a deterministic pure function of its spec (the
+paper's generic-flow framing), retrying a job — on the same worker or a
+migrated one — can never change its answer, only its wall-clock.  That is
+what makes supervision at this level *sound*: the supervisor reasons
+about processes and time; placement results stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..parallel.jobs import JobResult, PlacementJob
+
+SERVICE_SCHEMA = "repro-service/1"
+
+#: Failure classes a finished attempt can be attributed to.  The first
+#: three are the retryable-by-default ones; ``rejected`` (bad input, e.g.
+#: ``ValueError``) and ``error`` (anything else) fail fast.
+FAILURE_CLASSES = ("worker_death", "timeout", "numerical", "rejected", "error")
+
+
+def classify_failure(error_type: Optional[str]) -> str:
+    """Map a worker-reported exception type to a retry class.
+
+    ``worker_death`` and ``timeout`` never reach here — the supervisor
+    assigns those itself (the worker was killed and reported nothing).
+    """
+    if error_type == "NumericalHealthError":
+        return "numerical"
+    if error_type in ("ValueError", "TypeError", "SystemExit"):
+        return "rejected"
+    return "error"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times, on which failures, and with what backoff to retry.
+
+    ``max_attempts`` counts the first attempt: 3 means one run plus up to
+    two retries.  ``retry_on`` names failure classes (see
+    :data:`FAILURE_CLASSES`); ``numerical`` is included by default
+    because a :class:`~repro.core.health.NumericalHealthError` that
+    escaped the in-process recovery ladder has already exhausted every
+    rung — the one thing a retry adds is a fresh process (clean heap,
+    no inherited allocator state), the classic crash-only remedy.
+    Requeue delay grows exponentially and is capped:
+    ``min(backoff_cap_s, backoff_base_s * 2**(attempt-1))``.
+    """
+
+    max_attempts: int = 3
+    retry_on: Tuple[str, ...] = ("worker_death", "timeout", "numerical")
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        unknown = set(self.retry_on) - set(FAILURE_CLASSES)
+        if unknown:
+            raise ValueError(
+                f"unknown retry classes {sorted(unknown)}; choose from "
+                f"{FAILURE_CLASSES}"
+            )
+
+    def delay_s(self, attempt: int) -> float:
+        """Requeue delay after failed attempt number *attempt* (1-based)."""
+        return min(
+            self.backoff_cap_s,
+            self.backoff_base_s * (2.0 ** max(0, attempt - 1)),
+        )
+
+    def should_retry(self, failure_class: str, attempt: int) -> bool:
+        """True if attempt number *attempt* (1-based) may be retried."""
+        return attempt < self.max_attempts and failure_class in self.retry_on
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "max_attempts": self.max_attempts,
+            "retry_on": list(self.retry_on),
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_cap_s": self.backoff_cap_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, Any]]) -> "RetryPolicy":
+        if not data:
+            return cls()
+        return cls(
+            max_attempts=int(data.get("max_attempts", 3)),
+            retry_on=tuple(
+                data.get("retry_on", ("worker_death", "timeout", "numerical"))
+            ),
+            backoff_base_s=float(data.get("backoff_base_s", 0.05)),
+            backoff_cap_s=float(data.get("backoff_cap_s", 2.0)),
+        )
+
+
+@dataclass(frozen=True)
+class ServiceJob:
+    """One submitted unit of service work.
+
+    ``job`` is the pure placement spec; everything else is scheduling
+    metadata.  Lower ``priority`` runs first (0 is the default lane).
+    ``timeout_seconds``/``retry`` of ``None`` fall back to the service
+    defaults.
+    """
+
+    job: PlacementJob
+    job_id: str
+    priority: int = 0
+    tenant: str = "default"
+    timeout_seconds: Optional[float] = None
+    retry: Optional[RetryPolicy] = None
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any], job_id: str) -> "ServiceJob":
+        """Build from a JSON job spec (the ``repro submit`` file format)."""
+        known = {
+            "id", "source", "seed", "config", "name", "legalize",
+            "max_iterations", "scale", "utilization", "inject_faults",
+            "priority", "tenant", "timeout_seconds", "retry",
+        }
+        unknown = set(spec) - known
+        if unknown:
+            raise ValueError(
+                f"unknown job-spec keys {sorted(unknown)}; known keys are "
+                f"{sorted(known)}"
+            )
+        if "source" not in spec:
+            raise ValueError("job spec needs a 'source'")
+        job = PlacementJob(
+            source=spec["source"],
+            seed=int(spec.get("seed", 0)),
+            config=spec.get("config"),
+            name=spec.get("name") or job_id,
+            legalize=bool(spec.get("legalize", True)),
+            max_iterations=spec.get("max_iterations"),
+            scale=float(spec.get("scale", 0.2)),
+            utilization=float(spec.get("utilization", 0.8)),
+            inject_faults=tuple(
+                (site, dict(kwargs))
+                for site, kwargs in spec.get("inject_faults", ())
+            ),
+        )
+        retry = spec.get("retry")
+        return cls(
+            job=job,
+            job_id=job_id,
+            priority=int(spec.get("priority", 0)),
+            tenant=str(spec.get("tenant", "default")),
+            timeout_seconds=spec.get("timeout_seconds"),
+            retry=RetryPolicy.from_dict(retry) if retry is not None else None,
+        )
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    SHED = "shed"
+
+
+@dataclass
+class AttemptRecord:
+    """One execution attempt of a job on one worker."""
+
+    attempt: int
+    worker_id: int
+    dispatched_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    outcome: Optional[str] = None  # "done" or a failure class
+    error: Optional[str] = None
+    resumed_iteration: Optional[int] = None
+
+    def summary(self) -> Dict[str, Any]:
+        seconds = None
+        if self.finished_at is not None:
+            seconds = round(self.finished_at - self.dispatched_at, 6)
+        return {
+            "attempt": self.attempt,
+            "worker": self.worker_id,
+            "outcome": self.outcome,
+            "error": self.error,
+            "seconds": seconds,
+            "resumed_iteration": self.resumed_iteration,
+        }
+
+
+@dataclass
+class JobRecord:
+    """Mutable supervisor-side state of one admitted job."""
+
+    spec: ServiceJob
+    seq: int
+    state: JobState = JobState.QUEUED
+    submitted_at: float = field(default_factory=time.monotonic)
+    finished_at: Optional[float] = None
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    result: Optional[JobResult] = None
+    failure_class: Optional[str] = None
+    reason: Optional[str] = None
+    not_before: float = 0.0  # earliest dispatch time (retry backoff)
+
+    @property
+    def job_id(self) -> str:
+        return self.spec.job_id
+
+    @property
+    def attempt_count(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Submit-to-finish wall-clock, once the job reached an end state."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def summary(self) -> Dict[str, Any]:
+        ok = self.state == JobState.DONE
+        return {
+            "job_id": self.job_id,
+            "state": self.state.value,
+            "tenant": self.spec.tenant,
+            "priority": self.spec.priority,
+            "attempts": [a.summary() for a in self.attempts],
+            "n_attempts": self.attempt_count,
+            "latency_s": round(self.latency_s, 6)
+            if self.latency_s is not None else None,
+            "failure_class": self.failure_class,
+            "reason": self.reason,
+            "hpwl_m": self.result.hpwl_m if ok and self.result else None,
+            "legal_hpwl_m": self.result.legal_hpwl_m
+            if ok and self.result else None,
+            "final_hpwl_m": self.result.final_hpwl_m
+            if ok and self.result else None,
+            "iterations": self.result.iterations if ok and self.result else 0,
+            "error": self.result.error
+            if self.result is not None else self.reason,
+            "error_type": self.result.error_type
+            if self.result is not None else None,
+        }
+
+
+@dataclass(frozen=True)
+class SubmitResult:
+    """What :meth:`PlacementService.submit` returns: admitted or why not."""
+
+    admitted: bool
+    job_id: str
+    reason: Optional[str] = None
+
+
+__all__ = [
+    "AttemptRecord",
+    "FAILURE_CLASSES",
+    "JobRecord",
+    "JobState",
+    "RetryPolicy",
+    "SERVICE_SCHEMA",
+    "ServiceJob",
+    "SubmitResult",
+    "classify_failure",
+]

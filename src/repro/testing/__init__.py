@@ -11,17 +11,39 @@ so "legal" means exactly one thing across the whole suite.
 """
 
 from .faults import (
+    FAULT_FACTORIES,
+    FAULT_SPEC_ENV,
     FaultInjection,
+    KILL_EXIT_CODE,
     burn_deadline,
+    corrupt_checkpoint,
     corrupt_field,
+    env_faults,
     fail_cg,
+    hang_worker,
+    install_env_hooks,
+    install_process_faults,
+    kill_worker,
+    resolve_fault,
+    slow_start,
 )
 from .legal import assert_legal
 
 __all__ = [
+    "FAULT_FACTORIES",
+    "FAULT_SPEC_ENV",
     "FaultInjection",
+    "KILL_EXIT_CODE",
     "assert_legal",
     "burn_deadline",
+    "corrupt_checkpoint",
     "corrupt_field",
+    "env_faults",
     "fail_cg",
+    "hang_worker",
+    "install_env_hooks",
+    "install_process_faults",
+    "kill_worker",
+    "resolve_fault",
+    "slow_start",
 ]

@@ -26,14 +26,28 @@ Example::
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import replace
-from typing import Iterator, Optional
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from ..core import health
+
+#: Exit code used by process-killing chaos (`kill_worker`,
+#: ``corrupt_checkpoint(mode="kill_mid_write")``) so a supervisor can tell
+#: an injected death from a genuine crash in tests.
+KILL_EXIT_CODE = 86
+
+#: Environment variable carrying a JSON list of ``[name, kwargs]`` fault
+#: specs, re-installed by worker initializers so injection survives
+#: ``spawn``/``forkserver`` start methods (where the parent's in-memory
+#: hook registry is not inherited).
+FAULT_SPEC_ENV = "REPRO_FAULT_SPECS"
 
 
 @contextmanager
@@ -173,3 +187,228 @@ class _ContextWithStats:
 
     def __exit__(self, *exc) -> Optional[bool]:
         return self._ctx.__exit__(*exc)
+
+
+# ----------------------------------------------------------------------
+# Process-level chaos
+# ----------------------------------------------------------------------
+# The service layer (src/repro/service/) supervises worker *processes*;
+# proving its recovery paths needs faults one level below the numerical
+# ones above: abrupt worker death, hangs, torn checkpoint writes, slow
+# cold starts.  All take an optional ``once_path``: when set, the fault
+# fires only for the process that wins an exclusive create of that flag
+# file — the cross-process "fire exactly once" primitive that keeps a
+# respawned worker (which re-installs the same spec) from dying forever.
+
+def _acquire_once(once_path) -> bool:
+    """True if this caller may fire (exclusive-create of the flag file)."""
+    if once_path is None:
+        return True
+    try:
+        fd = os.open(str(once_path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def kill_worker(
+    at_iteration: int = 0, once_path: Optional[str] = None
+) -> "_ContextWithStats":
+    """Abruptly kill the process at the top of placement transformation
+    ``at_iteration`` (``os._exit`` — no cleanup, no exception, exactly how
+    the OOM killer or a segfault takes a worker down mid-job).
+    """
+    stats = FaultInjection()
+
+    def hook(iteration: int) -> None:
+        if iteration == at_iteration and _acquire_once(once_path):
+            stats.fired += 1
+            os._exit(KILL_EXIT_CODE)
+
+    return _ContextWithStats(_install("iteration", hook), stats)
+
+
+def hang_worker(
+    at_iteration: int = 0,
+    seconds: float = 3600.0,
+    once_path: Optional[str] = None,
+) -> "_ContextWithStats":
+    """Hang the process at transformation ``at_iteration`` for *seconds*.
+
+    The sleep is far longer than any reasonable job watchdog, so a
+    supervisor must detect the stuck job by wall-clock and kill the
+    worker; the hang never resolves by itself in test timescales.
+    """
+    stats = FaultInjection()
+
+    def hook(iteration: int) -> None:
+        if iteration == at_iteration and _acquire_once(once_path):
+            stats.fired += 1
+            time.sleep(seconds)
+
+    return _ContextWithStats(_install("iteration", hook), stats)
+
+
+def corrupt_checkpoint(
+    mode: str = "kill_mid_write",
+    nth_save: int = 1,
+    once_path: Optional[str] = None,
+) -> "_ContextWithStats":
+    """Attack the checkpoint on its ``nth_save``-th write (1-based).
+
+    - ``mode="kill_mid_write"`` kills the process between the tmp-file
+      write and the atomic rename — the torn-write crash.  The snapshot
+      on disk must still be the *previous* complete one.
+    - ``mode="truncate"`` overwrites the committed snapshot with garbage
+      after the rename — the bit-rot/partial-disk scenario.  A resuming
+      job must fall back to a fresh start instead of failing.
+    """
+    if mode not in ("kill_mid_write", "truncate"):
+        raise ValueError(
+            f"mode must be 'kill_mid_write' or 'truncate', got {mode!r}"
+        )
+    stats = FaultInjection()
+    saves = {"n": 0}
+
+    def hook(stage: str, tmp: Path, path: Path) -> None:
+        trigger = "pre_rename" if mode == "kill_mid_write" else "post_rename"
+        if stage != trigger:
+            return
+        saves["n"] += 1
+        if saves["n"] != nth_save or not _acquire_once(once_path):
+            return
+        stats.fired += 1
+        if mode == "kill_mid_write":
+            os._exit(KILL_EXIT_CODE)
+        Path(path).write_bytes(b"torn checkpoint garbage")
+
+    return _ContextWithStats(_install("checkpoint", hook), stats)
+
+
+def slow_start(
+    seconds: float = 0.5, once_path: Optional[str] = None
+) -> "_ContextWithStats":
+    """Delay a service worker's initializer by *seconds*.
+
+    Fires at the ``worker_start`` hook site, before the worker reports
+    ready — a supervisor with a start watchdog must either tolerate the
+    delay or recycle the worker, but never dispatch into the void.
+    """
+    stats = FaultInjection()
+
+    def hook(worker_id: int) -> None:
+        if _acquire_once(once_path):
+            stats.fired += 1
+            time.sleep(seconds)
+
+    return _ContextWithStats(_install("worker_start", hook), stats)
+
+
+#: Name -> factory for every injectable fault.  This is the single
+#: resolution table used by job specs (``PlacementJob.inject_faults``),
+#: service worker initializers, and the :data:`FAULT_SPEC_ENV` mechanism.
+FAULT_FACTORIES = {
+    "corrupt_field": corrupt_field,
+    "fail_cg": fail_cg,
+    "burn_deadline": burn_deadline,
+    "kill_worker": kill_worker,
+    "hang_worker": hang_worker,
+    "corrupt_checkpoint": corrupt_checkpoint,
+    "slow_start": slow_start,
+}
+
+FaultSpec = Tuple[str, Dict]
+
+
+def resolve_fault(site: str, **kwargs) -> "_ContextWithStats":
+    """Instantiate the named fault, with an actionable unknown-name error."""
+    try:
+        factory = FAULT_FACTORIES[site]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault site {site!r}; choose from "
+            f"{sorted(FAULT_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def encode_fault_specs(specs: List[FaultSpec]) -> str:
+    """JSON-encode ``[(name, kwargs), ...]`` for :data:`FAULT_SPEC_ENV`."""
+    for name, kwargs in specs:
+        if name not in FAULT_FACTORIES:
+            raise ValueError(
+                f"unknown fault site {name!r}; choose from "
+                f"{sorted(FAULT_FACTORIES)}"
+            )
+        json.dumps(kwargs)  # must be serializable
+    return json.dumps([[name, dict(kwargs)] for name, kwargs in specs])
+
+
+def env_fault_specs() -> List[FaultSpec]:
+    """Decode :data:`FAULT_SPEC_ENV` from the environment (empty if unset)."""
+    raw = os.environ.get(FAULT_SPEC_ENV, "").strip()
+    if not raw:
+        return []
+    try:
+        specs = json.loads(raw)
+        return [(str(name), dict(kwargs)) for name, kwargs in specs]
+    except (ValueError, TypeError) as exc:
+        raise ValueError(
+            f"malformed {FAULT_SPEC_ENV}: expected a JSON list of "
+            f"[name, kwargs] pairs, got {raw!r}"
+        ) from exc
+
+
+#: Fault contexts entered for the lifetime of this process (worker-side
+#: installs).  The installers are generator-based context managers, so
+#: dropping the entered context lets refcounting GC close the generator —
+#: which runs the cleanup and silently *uninstalls* the hook.  Holding
+#: them here keeps worker-lifetime faults armed until the process dies.
+_PROCESS_LIFETIME: List["_ContextWithStats"] = []
+
+
+def install_process_faults(specs: List[FaultSpec]) -> int:
+    """Enter *specs* for the remaining lifetime of this process.
+
+    Used by worker mains for faults that must outlive any one job (e.g.
+    pool-level chaos).  Returns the number installed; never uninstalled —
+    the hooks die with the process.
+    """
+    for name, kwargs in specs:
+        ctx = resolve_fault(name, **kwargs)
+        ctx.__enter__()
+        _PROCESS_LIFETIME.append(ctx)
+    return len(specs)
+
+
+def install_env_hooks() -> int:
+    """Install every fault spec from :data:`FAULT_SPEC_ENV`, process-lifetime.
+
+    Called from worker initializers (the batch engine's pool and the
+    service worker main), so injection registered in the parent reaches
+    workers under **every** start method — ``fork`` inherits the hook
+    registry for free, but ``spawn``/``forkserver`` workers start from a
+    clean interpreter and must re-install from the environment.  Returns
+    the number of hooks installed.
+    """
+    return install_process_faults(env_fault_specs())
+
+
+@contextmanager
+def env_faults(specs: List[FaultSpec]) -> Iterator[None]:
+    """Set :data:`FAULT_SPEC_ENV` for the duration of the block.
+
+    Parent-side helper for tests: workers started inside the block (any
+    start method) re-install *specs* via :func:`install_env_hooks`; the
+    parent's own hook registry is left untouched.
+    """
+    previous = os.environ.get(FAULT_SPEC_ENV)
+    os.environ[FAULT_SPEC_ENV] = encode_fault_specs(specs)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(FAULT_SPEC_ENV, None)
+        else:
+            os.environ[FAULT_SPEC_ENV] = previous

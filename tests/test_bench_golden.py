@@ -89,10 +89,28 @@ class TestCommittedReport:
     def test_runs_only_schema(self, report):
         assert report["schema"] == "repro-bench/2"
         # No per-run fields mirrored at the top level (the pre-v2 layout);
-        # "batch" is the only other key allowed to ride along.
-        assert set(report) - {"batch"} == {
+        # the "batch" and "service" records are the only other keys
+        # allowed to ride along.
+        assert set(report) - {"batch", "service"} == {
             "schema", "generated_at", "sizes", "deterministic", "runs"
         }
+
+    def test_service_record_shape(self, report):
+        service = report.get("service")
+        if service is None:
+            pytest.skip("no service record committed yet")
+        assert service["schema"] == "repro-service/1"
+        assert service["n_done"] >= 1
+        latency = service["latency"]
+        assert latency["n"] == service["n_done"]
+        assert latency["p50_s"] <= latency["p99_s"]
+        # Counter consistency: retries and worker churn must agree with
+        # the event counts the same run traced.
+        events = service["events"]
+        assert events["job_retry"] == service["retries"]
+        assert events["worker_death"] == service["worker"]["deaths"]
+        assert events["worker_restart"] == service["worker"]["restarts"]
+        assert events["job_done"] == service["n_done"]
 
     def test_deterministic_everywhere(self, report):
         assert report["deterministic"] is True

@@ -166,3 +166,63 @@ class TestResume:
         assert _coords_digest(plain.placement) == _coords_digest(
             with_ckpt.placement
         )
+
+
+def _run_until_torn_write(path, once_path):
+    """Child entry point: place with checkpointing, die mid-rename.
+
+    ``corrupt_checkpoint(mode="kill_mid_write", nth_save=2)`` kills the
+    process between the tmp-file write and the atomic rename of the
+    second snapshot — the torn-write crash the rename protects against.
+    """
+    from repro import GeneratorSpec, KraftwerkPlacer, PlacerConfig, generate_circuit
+    from repro.testing import corrupt_checkpoint
+
+    circuit = generate_circuit(
+        GeneratorSpec(name="tiny", num_cells=60, num_rows=4)
+    )
+    with corrupt_checkpoint(
+        mode="kill_mid_write", nth_save=2, once_path=once_path
+    ):
+        KraftwerkPlacer(
+            circuit.netlist,
+            circuit.region,
+            PlacerConfig(checkpoint_path=str(path), checkpoint_every=2),
+        ).place(max_iterations=8)
+
+
+class TestTornWrite:
+    def test_mid_write_kill_preserves_previous_snapshot(
+        self, tiny_circuit, tmp_path
+    ):
+        import multiprocessing as mp
+
+        from repro.core import try_load_checkpoint
+        from repro.testing import KILL_EXIT_CODE
+
+        path = tmp_path / "state.npz"
+        process = mp.get_context("fork").Process(
+            target=_run_until_torn_write,
+            args=(str(path), str(tmp_path / "once")),
+        )
+        process.start()
+        process.join(120)
+        assert process.exitcode == KILL_EXIT_CODE
+
+        # The torn write is visible (tmp file left behind), but the
+        # committed snapshot is still the previous complete one.
+        assert path.with_name(path.name + ".tmp").exists()
+        ckpt = try_load_checkpoint(path)
+        assert ckpt is not None and ckpt.iteration == 2
+
+        # Resuming from it is bit-identical to an uninterrupted run.
+        full = KraftwerkPlacer(
+            tiny_circuit.netlist, tiny_circuit.region
+        ).place(max_iterations=8)
+        resumed = KraftwerkPlacer(
+            tiny_circuit.netlist, tiny_circuit.region
+        ).place(max_iterations=8, resume_from=str(path))
+        assert _coords_digest(resumed.placement) == _coords_digest(
+            full.placement
+        )
+        assert resumed.hpwl_m == full.hpwl_m

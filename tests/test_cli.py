@@ -143,3 +143,155 @@ class TestErrorHandling:
         rc = main(["place", "--netlist", str(path)])
         assert rc == 0
         assert "degenerate-net" in capsys.readouterr().err  # repair report
+
+
+class TestBatchExitCodes:
+    def test_all_jobs_failed_exits_2_with_class_summary(
+        self, tmp_path, capsys
+    ):
+        rc = main([
+            "batch", "--circuit", "definitely-not-a-circuit",
+            "--jobs", "2", "--workers", "0",
+            "--out", str(tmp_path / "batch.json"),
+        ])
+        assert rc == 2  # nothing succeeded
+        err = capsys.readouterr().err
+        assert "failure classes : ValueError x2" in err
+
+
+class TestServeCLI:
+    def _jobs_file(self, tmp_path, jobs):
+        import json
+
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(jobs), encoding="utf-8")
+        return str(path)
+
+    def test_parser_flags(self):
+        args = build_parser().parse_args([
+            "serve", "--jobs", "j.json", "--workers", "3",
+            "--max-attempts", "5", "--retry-on", "worker_death,timeout",
+            "--max-queue-depth", "7",
+        ])
+        assert args.jobs_file == "j.json"
+        assert args.workers == 3 and args.max_attempts == 5
+        assert args.retry_on == "worker_death,timeout"
+        assert args.max_queue_depth == 7
+
+    def test_needs_exactly_one_input_mode(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--jobs", "j.json", "--spool", str(tmp_path)])
+
+    def test_serve_jobs_with_chaos_recovers(self, tmp_path, capsys):
+        # One clean job plus one that kills its worker mid-run: the serve
+        # command must retry the victim and exit 0 with everything done.
+        jobs = [
+            {"id": "clean", "source": "tiny", "seed": 1,
+             "legalize": False, "max_iterations": 8},
+            {"id": "victim", "source": "tiny", "seed": 2,
+             "legalize": False, "max_iterations": 8,
+             "inject_faults": [["kill_worker", {
+                 "at_iteration": 2,
+                 "once_path": str(tmp_path / "once"),
+             }]]},
+        ]
+        rc = main([
+            "serve", "--jobs", self._jobs_file(tmp_path, jobs),
+            "--workers", "1", "--backoff-base", "0.01",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--events", str(tmp_path / "events.jsonl"),
+            "--out", str(tmp_path / "report.json"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2/2 done" in out
+        assert "1 retries" in out
+
+        import json
+
+        report = json.loads((tmp_path / "report.json").read_text())
+        assert report["schema"] == "repro-service/1"
+        assert report["n_done"] == 2
+        assert report["worker"]["deaths"] == 1
+        # The JSONL trace exists and carries the recovery sequence.
+        trace = [json.loads(line) for line in
+                 (tmp_path / "events.jsonl").read_text().splitlines()]
+        kinds = [e.get("event") for e in trace]
+        assert "worker_death" in kinds and "job_retry" in kinds
+
+    def test_serve_jobs_failure_exits_1_with_classes(self, tmp_path, capsys):
+        jobs = [
+            {"id": "ok", "source": "tiny", "seed": 0,
+             "legalize": False, "max_iterations": 8},
+            {"id": "bad", "source": "no-such-circuit"},
+        ]
+        rc = main([
+            "serve", "--jobs", self._jobs_file(tmp_path, jobs),
+            "--workers", "1",
+        ])
+        assert rc == 1  # partial failure
+        err = capsys.readouterr().err
+        assert "failure classes : rejected x1" in err
+
+    def test_serve_jobs_nothing_succeeds_exits_2(self, tmp_path, capsys):
+        jobs = [{"id": "bad", "source": "no-such-circuit"}]
+        rc = main([
+            "serve", "--jobs", self._jobs_file(tmp_path, jobs),
+            "--workers", "1",
+        ])
+        assert rc == 2
+        capsys.readouterr()
+
+    def test_malformed_spec_is_rejected_not_fatal(self, tmp_path, capsys):
+        jobs = [
+            {"id": "ok", "source": "tiny", "seed": 0,
+             "legalize": False, "max_iterations": 8},
+            {"id": "typo", "source": "tiny", "sauce": 1},
+        ]
+        rc = main([
+            "serve", "--jobs", self._jobs_file(tmp_path, jobs),
+            "--workers", "1",
+        ])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "rejected typo" in err and "unknown job-spec keys" in err
+
+
+class TestSubmitSpool:
+    def test_submit_then_serve_round_trip(self, tmp_path, capsys):
+        import json
+
+        spool = tmp_path / "spool"
+        assert main([
+            "submit", "--circuit", "tiny", "--seed", "3",
+            "--max-iterations", "8", "--no-legalize",
+            "--spool", str(spool), "--id", "trip",
+        ]) == 0
+        spec_file = spool / "incoming" / "trip.json"
+        assert spec_file.exists()
+        spec = json.loads(spec_file.read_text())
+        assert spec["source"] == "tiny" and spec["seed"] == 3
+        assert spec["legalize"] is False
+
+        rc = main([
+            "serve", "--spool", str(spool),
+            "--workers", "1", "--drain-idle", "0.5",
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        assert not spec_file.exists()  # consumed
+        result = json.loads(
+            (spool / "results" / "trip.json").read_text()
+        )
+        assert result["state"] == "done"
+        assert result["final_hpwl_m"] is not None
+
+        # submit --wait now finds the finished result immediately.
+        assert main([
+            "submit", "--circuit", "tiny", "--seed", "3",
+            "--spool", str(spool), "--id", "trip", "--wait",
+            "--wait-timeout", "5",
+        ]) == 0
+        assert "done" in capsys.readouterr().out

@@ -1,0 +1,177 @@
+"""Process-level chaos primitives: kill/hang/corrupt/slow-start faults.
+
+These are the faults the service layer's recovery paths are proven
+against, so the primitives themselves need direct coverage: the injected
+death must be distinguishable from a real crash (:data:`KILL_EXIT_CODE`),
+the ``once_path`` flag must fire exactly once *across processes*, and the
+``REPRO_FAULT_SPECS`` environment channel must survive any start method
+(spawn workers re-install hooks from it; the parent's registry stays
+clean).
+"""
+
+import json
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PlacerCheckpoint,
+    health,
+    load_checkpoint,
+    save_checkpoint,
+    try_load_checkpoint,
+)
+from repro.testing import faults
+from repro.testing.faults import (
+    FAULT_SPEC_ENV,
+    KILL_EXIT_CODE,
+    _acquire_once,
+    corrupt_checkpoint,
+    encode_fault_specs,
+    env_fault_specs,
+    env_faults,
+    install_env_hooks,
+    kill_worker,
+    resolve_fault,
+    slow_start,
+)
+
+
+def _run_with_kill(once_path):
+    """Child entry point: place under an armed kill_worker fault."""
+    from repro.api import place
+
+    with kill_worker(at_iteration=1, once_path=once_path):
+        place("tiny", seed=0, legalize=False, max_iterations=4)
+
+
+def _tiny_checkpoint(iteration=3):
+    rng = np.random.default_rng(0)
+    return PlacerCheckpoint(
+        iteration=iteration,
+        x=rng.random(8), y=rng.random(8),
+        e_x=np.zeros(8), e_y=np.zeros(8),
+        signature="test/8c/1n/2p/8m",
+    )
+
+
+class TestOnceFlag:
+    def test_none_always_fires(self):
+        assert _acquire_once(None)
+        assert _acquire_once(None)
+
+    def test_flag_file_fires_exactly_once(self, tmp_path):
+        flag = tmp_path / "once"
+        assert _acquire_once(flag)
+        assert not _acquire_once(flag)  # same process, second caller
+        assert flag.exists()
+
+
+class TestKillWorker:
+    def test_injected_death_uses_the_marker_exit_code(self, tmp_path):
+        # The kill is os._exit in a real child process: the parent must
+        # see the marker exit code, not an exception or a clean exit.
+        process = mp.get_context("fork").Process(
+            target=_run_with_kill, args=(str(tmp_path / "once"),)
+        )
+        process.start()
+        process.join(60)
+        assert not process.is_alive()
+        assert process.exitcode == KILL_EXIT_CODE
+
+    def test_once_path_spares_the_second_process(self, tmp_path):
+        once = str(tmp_path / "once")
+        ctx = mp.get_context("fork")
+        first = ctx.Process(target=_run_with_kill, args=(once,))
+        first.start()
+        first.join(60)
+        assert first.exitcode == KILL_EXIT_CODE
+        # A respawned worker re-installs the same spec but must survive.
+        second = ctx.Process(target=_run_with_kill, args=(once,))
+        second.start()
+        second.join(60)
+        assert second.exitcode == 0
+
+
+class TestCorruptCheckpoint:
+    def test_truncate_makes_snapshot_unloadable_but_recoverable(
+        self, tmp_path
+    ):
+        path = tmp_path / "run.ckpt.npz"
+        with corrupt_checkpoint(mode="truncate", nth_save=2) as stats:
+            save_checkpoint(path, _tiny_checkpoint(2))
+            assert try_load_checkpoint(path) is not None  # save 1 intact
+            save_checkpoint(path, _tiny_checkpoint(4))
+        assert stats.fired == 1
+        # The hard loader raises; the resume path degrades to None.
+        with pytest.raises(Exception):
+            load_checkpoint(path)
+        assert try_load_checkpoint(path) is None
+
+    def test_validates_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            corrupt_checkpoint(mode="scribble")
+
+
+class TestFaultSpecEnv:
+    def test_encode_decode_round_trip(self):
+        specs = [
+            ("kill_worker", {"at_iteration": 3, "once_path": "/tmp/x"}),
+            ("corrupt_field", {"at_iteration": 1}),
+        ]
+        encoded = encode_fault_specs(specs)
+        with env_faults(specs):
+            assert os.environ[FAULT_SPEC_ENV] == encoded
+            assert env_fault_specs() == specs
+        assert FAULT_SPEC_ENV not in os.environ
+
+    def test_env_unset_means_no_specs(self, monkeypatch):
+        monkeypatch.delenv(FAULT_SPEC_ENV, raising=False)
+        assert env_fault_specs() == []
+        assert install_env_hooks() == 0
+
+    def test_malformed_env_raises(self, monkeypatch):
+        monkeypatch.setenv(FAULT_SPEC_ENV, "{not json")
+        with pytest.raises(ValueError, match="malformed"):
+            env_fault_specs()
+
+    def test_encode_rejects_unknown_fault(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            encode_fault_specs([("no_such_fault", {})])
+        with pytest.raises(ValueError, match="unknown fault site"):
+            resolve_fault("no_such_fault")
+
+    def test_install_env_hooks_installs_process_lifetime(self, monkeypatch):
+        # slow_start with 0 seconds: harmless to fire, easy to observe.
+        monkeypatch.setenv(
+            FAULT_SPEC_ENV,
+            encode_fault_specs([("slow_start", {"seconds": 0.0})]),
+        )
+        assert "worker_start" not in health._FAULT_HOOKS
+        try:
+            assert install_env_hooks() == 1
+            assert "worker_start" in health._FAULT_HOOKS
+            health.fire_hook("worker_start", 0)  # fires without error
+        finally:
+            health.remove_fault_hook("worker_start")
+
+    def test_env_faults_leaves_parent_registry_untouched(self):
+        before = dict(health._FAULT_HOOKS)
+        with env_faults([("kill_worker", {"at_iteration": 0})]):
+            assert dict(health._FAULT_HOOKS) == before
+        assert dict(health._FAULT_HOOKS) == before
+
+
+class TestSlowStart:
+    def test_fires_via_worker_start_hook(self):
+        with slow_start(seconds=0.0) as stats:
+            health.fire_hook("worker_start", 7)
+        assert stats.fired == 1
+
+    def test_specs_are_json_values(self):
+        # Whatever encode produces must be a plain JSON document (the env
+        # var crosses an exec boundary under spawn).
+        encoded = encode_fault_specs([("hang_worker", {"seconds": 1.0})])
+        assert json.loads(encoded) == [["hang_worker", {"seconds": 1.0}]]

@@ -297,6 +297,42 @@ class TestFailureIsolation:
         assert batch.jobs[2].ok and batch.jobs[2].timed_out
 
 
+class TestFaultInjectionAcrossStartMethods:
+    """Fault hooks must reach workers under every start method.
+
+    ``fork`` workers inherit the parent's in-memory hook registry, but
+    ``spawn``/``forkserver`` workers start from a clean interpreter — the
+    worker initializer must re-install faults from ``REPRO_FAULT_SPECS``
+    (see :func:`repro.testing.faults.install_env_hooks`), or chaos tests
+    silently stop injecting anything the moment the start method changes.
+    """
+
+    @pytest.mark.parametrize("method", ["fork", "spawn", "forkserver"])
+    def test_env_faults_reach_workers(self, method):
+        import multiprocessing as mp
+
+        from repro.core import health
+        from repro.testing import env_faults
+
+        if method not in mp.get_all_start_methods():
+            pytest.skip(f"start method {method!r} unavailable")
+        registry_before = dict(health._FAULT_HOOKS)
+        # Two jobs: a single-job batch short-circuits to in-parent serial
+        # execution and would never exercise a worker at all.  One worker
+        # runs them in order; the process-lifetime hook's call counter
+        # means it fires during job 0's iteration 1 and never again.
+        with env_faults([("corrupt_field", {"at_iteration": 1})]):
+            batch = run_batch(
+                tiny_jobs([0, 1]), workers=1, mp_context=method,
+                keep_placements=False,
+            )
+        # The fault fired *in the worker*: the first job diverged there.
+        assert [j.ok for j in batch.jobs] == [False, True]
+        assert batch.jobs[0].error_type == "NumericalHealthError"
+        # ...while the parent's own hook registry was never touched.
+        assert dict(health._FAULT_HOOKS) == registry_before
+
+
 # ----------------------------------------------------------------------
 # Aggregates + merged observability
 # ----------------------------------------------------------------------
