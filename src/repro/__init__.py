@@ -31,7 +31,8 @@ Sub-packages:
 - :mod:`repro.observability` — span timers, metric streams, trace export
   and the ``repro bench`` regression harness.
 - :mod:`repro.service` — the fault-tolerant placement service: supervised
-  worker pool, retry/backoff, checkpoint migration, admission control.
+  worker pool, retry/backoff, checkpoint migration, admission control,
+  the ``repro-wire/1`` TCP front end, result cache and load harness.
 """
 
 from .backend import available_backends, resolve_backend
@@ -65,7 +66,6 @@ from .core import (
     PlacerConfig,
     STANDARD_K,
     load_checkpoint,
-    place_circuit,
     save_checkpoint,
 )
 from .evaluation import (
@@ -110,7 +110,9 @@ from .observability import (
     read_trace_jsonl,
 )
 from .api import (
+    Client,
     FlowResult,
+    JobHandle,
     place,
     place_many,
     place_service,
@@ -131,7 +133,7 @@ from .service import (
     serve_jobs,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "available_backends",
@@ -165,7 +167,6 @@ __all__ = [
     "PlacerConfig",
     "STANDARD_K",
     "load_checkpoint",
-    "place_circuit",
     "save_checkpoint",
     "distribution_stats",
     "format_table",
@@ -201,7 +202,9 @@ __all__ = [
     "SpanRecorder",
     "Telemetry",
     "read_trace_jsonl",
+    "Client",
     "FlowResult",
+    "JobHandle",
     "place",
     "place_many",
     "place_service",

@@ -2,13 +2,20 @@
 
 Everything the repo can place — a :class:`~repro.netlist.Netlist`, a
 generated circuit, a suite-circuit name, a bench size, a Bookshelf ``.aux``
-file or a repro ``.netlist`` file — goes through two calls:
+file or a repro ``.netlist`` file — goes through three surfaces:
 
 - :func:`place` runs global placement (plus legalization by default) on one
   design and returns a frozen, picklable :class:`FlowResult`;
 - :func:`place_many` fans a list of designs/seeds out over the parallel
   batch engine (:mod:`repro.parallel`) and returns a
-  :class:`~repro.parallel.BatchResult`.
+  :class:`~repro.parallel.BatchResult`;
+- :class:`Client` is the *single* client surface over the placement
+  service: ``submit() -> JobHandle``, ``handle.stream()`` for per-iteration
+  progress, ``handle.result()``, ``cancel()`` — with two interchangeable
+  transports, in-process (wrapping
+  :class:`~repro.service.PlacementService`) and socket (the ``repro-wire/1``
+  protocol of :mod:`repro.service.net`).  ``place_many``/``place_service``/
+  ``serve_jobs`` are thin convenience wrappers over it.
 
 Quickstart::
 
@@ -20,6 +27,12 @@ Quickstart::
     batch = repro.place_many("tiny", seeds=range(8), workers=4)
     print(batch.best_hpwl_m, batch.speedup_estimate)
 
+    with repro.Client.local() as client:          # or Client.connect(...)
+        handle = client.submit("tiny", seed=3, subscribe=True)
+        for event in handle.stream():
+            print(event.get("iteration"), event.get("hpwl_m"))
+        print(handle.result().state)
+
 The facade replaces hand-stitching ``make_circuit`` + ``KraftwerkPlacer`` +
 ``final_placement`` + ``hpwl_meters``; those remain public for callers that
 need the individual layers.
@@ -27,9 +40,25 @@ need the individual layers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace as dc_replace
+import queue as _queue
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace as dc_replace
 from pathlib import Path
-from typing import Any, Dict, Iterable, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
 
 from .core import KraftwerkPlacer, PlacementResult, PlacerConfig
 from .evaluation import hpwl_meters
@@ -44,6 +73,9 @@ from .netlist import (
     load_netlist,
     make_circuit,
 )
+
+#: Round-trip schema tag for :meth:`FlowResult.to_dict`.
+FLOW_SCHEMA = "repro-flow/1"
 
 #: Everything :func:`place` accepts as a design description.
 PlaceSource = Union[
@@ -65,6 +97,46 @@ def region_for_netlist(
     return PlacementRegion.standard_cell(width, height, ROW_HEIGHT)
 
 
+#: Parsed-netlist memo for *generated* string sources (bench sizes, suite
+#: circuits).  Generation is deterministic in ``(name, scale)`` and the
+#: placer treats netlists as read-only, so repeated jobs on the same
+#: source — the service's common case — share one parsed object per
+#: process instead of regenerating it per job.  File sources are never
+#: memoized (their content can change under us).
+_RESOLVE_CACHE_SIZE = 8
+_resolve_cache: "OrderedDict[Tuple[str, float], Tuple[Netlist, PlacementRegion]]" = OrderedDict()
+_resolve_cache_lock = threading.Lock()
+
+
+def _cached_generated(name: str, scale: float):
+    """The memoized ``(netlist, region)`` for a generated source, or
+    ``None`` when *name* is not a known generator circuit."""
+    key = (name, float(scale))
+    with _resolve_cache_lock:
+        hit = _resolve_cache.get(key)
+        if hit is not None:
+            _resolve_cache.move_to_end(key)
+            return hit
+    from .netlist.generator import BENCH_SIZES, bench_spec
+
+    if name in BENCH_SIZES:
+        from .netlist import generate_circuit
+
+        circuit = generate_circuit(bench_spec(name))
+    else:
+        from .netlist.benchmarks import PROFILES_BY_NAME
+
+        if name not in PROFILES_BY_NAME:
+            return None
+        circuit = make_circuit(name, scale=scale)
+    entry = (circuit.netlist, circuit.region)
+    with _resolve_cache_lock:
+        _resolve_cache[key] = entry
+        while len(_resolve_cache) > _RESOLVE_CACHE_SIZE:
+            _resolve_cache.popitem(last=False)
+    return entry
+
+
 def resolve_source(
     source: PlaceSource,
     *,
@@ -80,7 +152,8 @@ def resolve_source(
     a bench size (``tiny``/``small``/``medium``) and then as a suite circuit
     name (``fract`` … ``avq.large``, sized by *scale*).  An explicit
     ``region=`` always wins; without one, file-based netlists get a derived
-    region at *utilization*.
+    region at *utilization*.  Generated sources (bench sizes and suite
+    names) are memoized per process — cross-job parsed-netlist reuse.
     """
     if isinstance(source, GeneratedCircuit):
         netlist = source.netlist
@@ -109,18 +182,10 @@ def resolve_source(
         name = str(source)
         # Bench sizes first: they are the canonical generator circuits
         # (tiny … huge) the regression harness and the batch smoke use.
-        from .netlist.generator import BENCH_SIZES, bench_spec
-
-        if name in BENCH_SIZES:
-            from .netlist import generate_circuit
-
-            circuit = generate_circuit(bench_spec(name))
-            return circuit.netlist, region or circuit.region, name
-        from .netlist.benchmarks import PROFILES_BY_NAME
-
-        if name in PROFILES_BY_NAME:
-            circuit = make_circuit(name, scale=scale)
-            return circuit.netlist, region or circuit.region, name
+        generated = _cached_generated(name, scale)
+        if generated is not None:
+            netlist, gen_region = generated
+            return netlist, region or gen_region, name
         raise ValueError(
             f"cannot resolve placement source {source!r}: not an existing "
             "file, bench size, or suite circuit name"
@@ -187,6 +252,101 @@ class FlowResult:
             "seed": self.seed,
         }
 
+    def positions_hash(self) -> str:
+        """SHA-256 over :attr:`final`'s coordinate bytes — the same digest
+        the bench harness pins, so cache hits and cold runs compare
+        bit-exactly without shipping arrays."""
+        from .observability.bench import placement_hash
+
+        return placement_hash(self.final)
+
+    def to_dict(self, *, placements: bool = True) -> Dict[str, Any]:
+        """Versioned round-trip form (schema ``repro-flow/1``).
+
+        Scalars, the config dict and the positions hash always travel;
+        with ``placements=True`` (the default) the coordinate arrays ride
+        along as lists so :meth:`from_dict` can rebuild the exact
+        placements.  This is the one serialization path shared by wire
+        frames, cache entries and checkpoint metadata.
+        """
+        data = self.summary()
+        data["schema"] = FLOW_SCHEMA
+        data["config"] = dict(self.config)
+        data["positions_hash"] = self.positions_hash()
+        if placements:
+            data["placement"] = {
+                "x": self.placement.x.tolist(),
+                "y": self.placement.y.tolist(),
+            }
+            data["legalized"] = (
+                {
+                    "x": self.legalized.x.tolist(),
+                    "y": self.legalized.y.tolist(),
+                }
+                if self.legalized is not None
+                else None
+            )
+        else:
+            data["placement"] = None
+            data["legalized"] = None
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], *, netlist: Netlist) -> "FlowResult":
+        """Rebuild from :meth:`to_dict` (requires the matching *netlist*,
+        since placements only store coordinates)."""
+        schema = data.get("schema")
+        if schema != FLOW_SCHEMA:
+            raise ValueError(
+                f"expected schema {FLOW_SCHEMA!r}, got {schema!r}"
+            )
+        coords = data.get("placement")
+        if coords is None:
+            raise ValueError(
+                "flow dict has no coordinate arrays (serialized with "
+                "placements=False) — cannot rebuild a FlowResult"
+            )
+        placement = Placement(
+            netlist,
+            np.asarray(coords["x"], dtype=np.float64),
+            np.asarray(coords["y"], dtype=np.float64),
+        )
+        legal_coords = data.get("legalized")
+        legalized = (
+            Placement(
+                netlist,
+                np.asarray(legal_coords["x"], dtype=np.float64),
+                np.asarray(legal_coords["y"], dtype=np.float64),
+            )
+            if legal_coords is not None
+            else None
+        )
+        flow = cls(
+            name=str(data["name"]),
+            placement=placement,
+            legalized=legalized,
+            hpwl_m=float(data["hpwl_m"]),
+            legal_hpwl_m=(
+                float(data["legal_hpwl_m"])
+                if data.get("legal_hpwl_m") is not None
+                else None
+            ),
+            converged=bool(data.get("converged", False)),
+            iterations=int(data.get("iterations", 0)),
+            seconds=float(data.get("seconds", 0.0)),
+            timed_out=bool(data.get("timed_out", False)),
+            recovery_escalations=int(data.get("recovery_escalations", 0)),
+            seed=int(data.get("seed", 0)),
+            config=dict(data.get("config") or {}),
+        )
+        expected = data.get("positions_hash")
+        if expected is not None and flow.positions_hash() != expected:
+            raise ValueError(
+                "flow round-trip corrupted: positions hash mismatch "
+                f"(expected {expected})"
+            )
+        return flow
+
 
 def place(
     source: PlaceSource,
@@ -201,6 +361,7 @@ def place(
     max_iterations: Optional[int] = None,
     resume_from=None,
     reuse=None,
+    iteration_hook: Optional[Callable[..., None]] = None,
 ) -> FlowResult:
     """Place one design end to end and return a :class:`FlowResult`.
 
@@ -212,9 +373,13 @@ def place(
     *reuse* optionally passes a :class:`~repro.core.reuse.ReuseContext` so
     repeated runs on the same netlist (e.g. the bench's determinism repeat)
     skip the setup work — bit-identically, see ``core/reuse.py``.
+    *iteration_hook* — ``hook(stats, placement)`` called once per placer
+    transformation (the streaming-progress bridge); passing one opens the
+    placer's observer gate, ``None`` keeps the stats path closed entirely.
 
     The call is deterministic: the same source, config and seed produce a
-    bit-identical placement in any process.
+    bit-identical placement in any process; *iteration_hook* observes but
+    never perturbs the trajectory.
     """
     netlist, resolved_region, name = resolve_source(
         source, region=region, utilization=utilization, scale=scale
@@ -234,7 +399,7 @@ def place(
             refine_iterations=max_iterations,
             telemetry=telemetry,
             reuse=reuse,
-        ).place(resume_from=resume_from)
+        ).place(resume_from=resume_from, iteration_hook=iteration_hook)
         result: PlacementResult = dc_replace(
             ml.refine_result,
             iterations=ml.total_iterations,
@@ -245,7 +410,9 @@ def place(
             netlist, resolved_region, cfg, telemetry=telemetry, reuse=reuse
         )
         result = placer.place(
-            max_iterations=max_iterations, resume_from=resume_from
+            max_iterations=max_iterations,
+            resume_from=resume_from,
+            iteration_hook=iteration_hook,
         )
     legal: Optional[Placement] = None
     legal_hpwl: Optional[float] = None
@@ -305,22 +472,19 @@ def place_many(
     *workers* follows :func:`repro.parallel.run_batch` semantics: ``None``
     uses the CPU count, ``0`` runs serially in-process (the determinism
     baseline), ``N >= 1`` uses a process pool.
-    """
-    from .parallel import run_batch
 
-    jobs = _jobs_for(
+    Thin wrapper over :meth:`Client.map`.
+    """
+    return Client.local().map(
         sources,
         seeds=seeds,
         config=config,
         legalize=legalize,
+        workers=workers,
+        mp_context=mp_context,
         scale=scale,
         utilization=utilization,
         max_iterations=max_iterations,
-    )
-    return run_batch(
-        jobs,
-        workers=workers,
-        mp_context=mp_context,
         trace_dir=trace_dir,
         progress=progress,
         keep_placements=keep_placements,
@@ -381,6 +545,298 @@ def _jobs_for(
     return [PlacementJob(source=sources, seed=s, **common) for s in seed_list]
 
 
+class JobHandle:
+    """One submitted job, as seen by a :class:`Client`.
+
+    ``admitted``/``shed_reason``/``cached`` mirror the service's
+    :class:`~repro.service.jobs.SubmitResult`; :meth:`stream` yields the
+    per-iteration progress events (only when submitted with
+    ``subscribe=True``) ending with the terminal ``result`` event, and
+    :meth:`result` blocks for the finished
+    :class:`~repro.service.jobs.JobRecord` — identical semantics over the
+    in-process and socket transports.
+    """
+
+    def __init__(
+        self,
+        client: "Client",
+        job_id: str,
+        *,
+        admitted: bool = True,
+        shed_reason: Optional[str] = None,
+        cached: bool = False,
+        events: Optional["_queue.Queue"] = None,
+    ):
+        self._client = client
+        self.job_id = job_id
+        self.admitted = admitted
+        self.shed_reason = shed_reason
+        self.cached = cached
+        self._events = events
+
+    def stream(self, timeout: Optional[float] = None) -> Iterator[Dict[str, Any]]:
+        """Yield this job's event dicts; the terminal ``result`` event is
+        always yielded last.  *timeout* bounds the wait per event and
+        raises ``TimeoutError`` when exceeded."""
+        if self._events is None:
+            raise RuntimeError(
+                f"job {self.job_id!r} was submitted without subscribe=True"
+            )
+        while True:
+            try:
+                event = self._events.get(timeout=timeout)
+            except _queue.Empty:
+                raise TimeoutError(
+                    f"no event from job {self.job_id!r} within {timeout}s"
+                ) from None
+            yield event
+            if event.get("type") == "result":
+                return
+
+    def result(self, timeout: Optional[float] = None):
+        """Block until terminal; returns the job's
+        :class:`~repro.service.jobs.JobRecord` (``None`` on timeout)."""
+        return self._client._wait_result(self.job_id, timeout)
+
+    def cancel(self) -> bool:
+        return self._client.cancel(self.job_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"JobHandle({self.job_id!r}, admitted={self.admitted}, "
+            f"cached={self.cached})"
+        )
+
+
+class Client:
+    """The single client surface over placement serving.
+
+    Two interchangeable transports:
+
+    - :meth:`Client.local` wraps an in-process
+      :class:`~repro.service.PlacementService` (started lazily on first
+      use);
+    - :meth:`Client.connect` speaks the ``repro-wire/1`` length-prefixed
+      JSONL protocol to a :class:`~repro.service.net.PlacementServer`,
+      authenticating with a tenant token that feeds the server's
+      admission quotas.
+
+    Either way: ``submit() -> JobHandle``, ``handle.stream()`` for
+    per-iteration progress, ``handle.result()`` for the terminal record,
+    ``cancel()``.  :meth:`map` runs a batch through the parallel engine
+    (no service) with :func:`place_many` semantics.  Use as a context
+    manager; :meth:`close` shuts down whatever the client owns.
+    """
+
+    def __init__(self, *, _service=None, _service_config=None, _events=None,
+                 _wire=None, _owns_service: bool = True):
+        self._service = _service
+        self._service_config = _service_config
+        self._events_sink = _events
+        self._wire = _wire
+        self._owns_service = _owns_service and _service is None
+        self._lock = threading.Lock()
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def local(cls, *, service=None, service_config=None, events=None) -> "Client":
+        """In-process transport.  Pass an already-running *service* to
+        attach (the client then never shuts it down), or a
+        :class:`~repro.service.ServiceConfig` to have the client own one,
+        started lazily on first submit."""
+        return cls(
+            _service=service,
+            _service_config=service_config,
+            _events=events,
+        )
+
+    @classmethod
+    def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        token: str = "default",
+        timeout: float = 10.0,
+    ) -> "Client":
+        """Socket transport: dial a :class:`~repro.service.net
+        .PlacementServer` and complete the ``hello`` handshake.  *token*
+        is the tenant identity every submit is accounted against."""
+        from .service.net import WireClient
+
+        return cls(_wire=WireClient(host, port, token=token, timeout=timeout))
+
+    # -- transport plumbing ----------------------------------------------
+    @property
+    def service(self):
+        """The in-process :class:`~repro.service.PlacementService`
+        (started on first access); raises on a socket client."""
+        if self._wire is not None:
+            raise RuntimeError("a socket Client has no in-process service")
+        if self._service is None:
+            with self._lock:
+                if self._service is None:
+                    from .service import PlacementService
+
+                    self._service = PlacementService(
+                        self._service_config, events=self._events_sink
+                    ).start()
+        return self._service
+
+    def close(self) -> None:
+        """Close the socket / shut down the owned service (idempotent)."""
+        if self._wire is not None:
+            self._wire.close()
+        elif self._owns_service and self._service is not None:
+            self._service.shutdown()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the client API --------------------------------------------------
+    def submit(
+        self,
+        source: Any,
+        *,
+        seed: int = 0,
+        config: Optional[Union[PlacerConfig, Dict[str, Any]]] = None,
+        name: Optional[str] = None,
+        legalize: bool = True,
+        max_iterations: Optional[int] = None,
+        scale: float = 0.2,
+        utilization: float = 0.8,
+        job_id: Optional[str] = None,
+        priority: int = 0,
+        tenant: str = "default",
+        timeout_seconds: Optional[float] = None,
+        retry=None,
+        subscribe: bool = False,
+    ) -> JobHandle:
+        """Submit one job; returns a :class:`JobHandle` immediately.
+
+        *source* is anything :func:`resolve_source` accepts, or a prebuilt
+        :class:`~repro.parallel.PlacementJob`/:class:`~repro.service.jobs
+        .ServiceJob` (then the per-job keywords here are ignored in favor
+        of the spec's own).  ``subscribe=True`` registers for the progress
+        stream *before* the job can dispatch, so :meth:`JobHandle.stream`
+        sees every iteration; it is also what opens the placer's
+        per-iteration observer gate at all.  A shed submit returns a
+        handle with ``admitted=False`` and the structured ``shed_reason``.
+        """
+        from .parallel import PlacementJob
+        from .service.jobs import ServiceJob
+
+        if isinstance(source, ServiceJob):
+            service_job: Any = source
+        elif isinstance(source, PlacementJob):
+            service_job = source
+        else:
+            if isinstance(config, PlacerConfig):
+                config = config.to_dict()
+            service_job = PlacementJob(
+                source=source,
+                seed=seed,
+                config=config,
+                name=name,
+                legalize=legalize,
+                max_iterations=max_iterations,
+                scale=scale,
+                utilization=utilization,
+            )
+        if self._wire is not None:
+            return self._wire.submit_job(
+                self,
+                service_job,
+                job_id=job_id,
+                priority=priority,
+                timeout_seconds=timeout_seconds,
+                subscribe=subscribe,
+            )
+        events = _queue.Queue() if subscribe else None
+        ticket = self.service.submit(
+            service_job,
+            job_id=job_id,
+            priority=priority,
+            tenant=tenant,
+            timeout_seconds=timeout_seconds,
+            retry=retry,
+            progress=events.put if events is not None else None,
+        )
+        return JobHandle(
+            self,
+            ticket.job_id,
+            admitted=ticket.admitted,
+            shed_reason=ticket.reason,
+            cached=ticket.cached,
+            events=events,
+        )
+
+    def cancel(self, job_id: str) -> bool:
+        if self._wire is not None:
+            return self._wire.cancel(job_id)
+        return self.service.cancel(job_id)
+
+    def _wait_result(self, job_id: str, timeout: Optional[float] = None):
+        if self._wire is not None:
+            return self._wire.wait_result(job_id, timeout)
+        return self.service.wait(job_id, timeout)
+
+    def drain(self, timeout: Optional[float] = None):
+        """Stop admitting and wait out every admitted job (local only)."""
+        if self._wire is not None:
+            raise RuntimeError("drain is a server-side operation; "
+                               "run it where the service lives")
+        return self.service.drain(timeout)
+
+    def report(self) -> Dict[str, Any]:
+        """The service report (schema ``repro-service/2``), either
+        transport."""
+        if self._wire is not None:
+            return self._wire.report()
+        return self.service.report()
+
+    def map(
+        self,
+        sources: Union[PlaceSource, Sequence[Any]],
+        *,
+        seeds: Optional[Iterable[int]] = None,
+        config: Optional[Union[PlacerConfig, Dict[str, Any]]] = None,
+        legalize: bool = True,
+        workers: Optional[int] = None,
+        mp_context: str = "auto",
+        scale: float = 0.2,
+        utilization: float = 0.8,
+        max_iterations: Optional[int] = None,
+        trace_dir=None,
+        progress=None,
+        keep_placements: bool = True,
+    ):
+        """Run a batch through the parallel engine (no queue, no retries)
+        — :func:`place_many` semantics; returns its ``BatchResult``."""
+        from .parallel import run_batch
+
+        jobs = _jobs_for(
+            sources,
+            seeds=seeds,
+            config=config,
+            legalize=legalize,
+            scale=scale,
+            utilization=utilization,
+            max_iterations=max_iterations,
+        )
+        return run_batch(
+            jobs,
+            workers=workers,
+            mp_context=mp_context,
+            trace_dir=trace_dir,
+            progress=progress,
+            keep_placements=keep_placements,
+        )
+
+
 def place_service(
     sources: Union[PlaceSource, Sequence[Any]],
     *,
@@ -394,7 +850,7 @@ def place_service(
     events=None,
 ) -> Dict[str, Any]:
     """Place sources/seeds through the fault-tolerant service; returns
-    the service report (schema ``repro-service/1``).
+    the service report (schema ``repro-service/2``).
 
     Same fan-out semantics as :func:`place_many`, but jobs run under the
     supervised worker pool of :mod:`repro.service`: a worker that dies or
@@ -420,7 +876,10 @@ def place_service(
 
 
 __all__ = [
+    "Client",
+    "FLOW_SCHEMA",
     "FlowResult",
+    "JobHandle",
     "PlaceSource",
     "place",
     "place_many",

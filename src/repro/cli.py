@@ -666,9 +666,10 @@ def cmd_serve(args) -> int:
         ServiceJob,
     )
 
-    if bool(args.jobs_file) == bool(args.spool):
-        raise SystemExit("serve needs exactly one of --jobs FILE or "
-                         "--spool DIR")
+    modes = sum(map(bool, (args.jobs_file, args.spool, args.listen)))
+    if modes != 1:
+        raise SystemExit("serve needs exactly one of --jobs FILE, "
+                         "--spool DIR or --listen [HOST:]PORT")
     retry_on = tuple(
         s.strip() for s in args.retry_on.split(",") if s.strip()
     )
@@ -684,6 +685,7 @@ def cmd_serve(args) -> int:
         ),
         max_queue_depth=args.max_queue_depth,
         tenant_quota=args.tenant_quota,
+        cache_bytes=args.cache_bytes,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         trace_dir=args.trace_dir,
@@ -710,8 +712,23 @@ def cmd_serve(args) -> int:
             for record in service.drain():
                 if record.state.value not in ("shed",):
                     _print_job_result(record.summary())
-        else:
+        elif args.spool:
             _serve_spool(service, Path(args.spool), args.drain_idle)
+            service.drain()
+        else:
+            from .service.net import PlacementServer
+
+            host, port = _parse_hostport(args.listen)
+            with PlacementServer(service, host=host, port=port) as server:
+                bound_host, bound_port = server.address
+                print(f"serve: listening on {bound_host}:{bound_port} "
+                      f"({args.workers} workers); Ctrl-C to drain",
+                      flush=True)
+                try:
+                    while True:
+                        time.sleep(0.5)
+                except KeyboardInterrupt:
+                    print("serve: interrupted; draining", file=sys.stderr)
             service.drain()
         report = service.report()
 
@@ -756,10 +773,65 @@ def cmd_serve(args) -> int:
     return 1 if bad else 0
 
 
+#: Exit codes ``repro submit`` returns per structured shed reason, so a
+#: shell wrapper can tell "back off and retry" (queue_full, tenant_quota)
+#: from "stop submitting" (draining, closed) without parsing stderr.
+SHED_EXIT = {"queue_full": 3, "tenant_quota": 4, "draining": 5, "closed": 6}
+
+
+def _shed_exit(job_id: str, reason) -> int:
+    print(f"shed {job_id}: {reason}", file=sys.stderr)
+    return SHED_EXIT.get(str(reason), 1)
+
+
+def _parse_hostport(value: str):
+    host, _, port = value.rpartition(":")
+    try:
+        return (host or "127.0.0.1"), int(port)
+    except ValueError:
+        raise SystemExit(f"expected HOST:PORT, got {value!r}")
+
+
+def _submit_wire(args) -> int:
+    from .api import Client
+
+    host, port = _parse_hostport(args.connect)
+    source = _batch_source(args)
+    with Client.connect(host, port, token=args.tenant) as client:
+        handle = client.submit(
+            str(source),
+            seed=args.seed,
+            scale=args.scale,
+            utilization=args.utilization,
+            legalize=not args.no_legalize,
+            max_iterations=args.max_iterations,
+            priority=args.priority,
+            timeout_seconds=args.timeout,
+            job_id=args.id,
+        )
+        if not handle.admitted:
+            return _shed_exit(handle.job_id, handle.shed_reason)
+        cached = " (cache hit)" if handle.cached else ""
+        print(f"submitted {handle.job_id}{cached}")
+        if not args.wait:
+            return 0
+        record = handle.result(timeout=args.wait_timeout)
+        if record is None:
+            print(f"timed out waiting for {handle.job_id}", file=sys.stderr)
+            return 1
+        _print_job_result(record.summary())
+        return 0 if record.state.value == "done" else 1
+
+
 def cmd_submit(args) -> int:
     import json as _json
     import os
 
+    if bool(args.spool) == bool(args.connect):
+        raise SystemExit("submit needs exactly one of --spool DIR or "
+                         "--connect HOST:PORT")
+    if args.connect:
+        return _submit_wire(args)
     spool = Path(args.spool)
     incoming = spool / "incoming"
     incoming.mkdir(parents=True, exist_ok=True)
@@ -798,10 +870,111 @@ def cmd_submit(args) -> int:
         if result_path.exists():
             summary = _json.loads(result_path.read_text(encoding="utf-8"))
             _print_job_result(summary)
-            return 0 if summary.get("state") == "done" else 1
+            state = summary.get("state")
+            if state == "shed":
+                return _shed_exit(job_id, summary.get("reason"))
+            return 0 if state == "done" else 1
         time.sleep(0.2)
     print(f"timed out waiting for {result_path}", file=sys.stderr)
     return 1
+
+
+def cmd_loadgen(args) -> int:
+    import json as _json
+
+    from .service.loadgen import LoadgenConfig, run_loadgen
+
+    tenants = {}
+    for part in args.tenants.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight = part.partition("=")
+        tenants[name] = float(weight) if weight else 1.0
+    if not tenants:
+        raise SystemExit("loadgen needs at least one tenant")
+    cfg = LoadgenConfig(
+        duration_s=args.duration,
+        rps=args.rps,
+        tenants=tenants,
+        seed=args.seed,
+        source=args.source,
+        unique_specs=args.unique_specs,
+        max_iterations=args.max_iterations,
+        legalize=not args.no_legalize,
+        drain_timeout_s=args.drain_timeout,
+    )
+
+    if args.connect:
+        host, port = _parse_hostport(args.connect)
+        record = run_loadgen(cfg, host, port)
+    else:
+        from .service import PlacementServer, ServiceConfig
+
+        config = ServiceConfig(
+            workers=args.workers,
+            max_queue_depth=args.max_queue_depth,
+            tenant_quota=args.tenant_quota,
+            cache_bytes=args.cache_bytes,
+        )
+        with PlacementServer(service_config=config) as server:
+            host, port = server.address
+            print(f"loadgen: serving on {host}:{port} "
+                  f"({args.workers} workers)", flush=True)
+            record = run_loadgen(cfg, host, port)
+
+    latency = record["latency"]
+    print(f"loadgen         : {record['offered']} offered @ "
+          f"{record['offered_rps']:g} rps over {record['wall_seconds']:g}s")
+    print(f"completed       : {record['completed']} done "
+          f"({record['cache_hits']} cache hits), {record['failed']} failed, "
+          f"{record['shed']} shed, {record['errors']} errors, "
+          f"{record['timed_out_waiting']} still waiting")
+    if latency["n"]:
+        print(f"latency         : p50 {latency['p50_s']:.3f}s, "
+              f"p99 {latency['p99_s']:.3f}s, p999 {latency['p999_s']:.3f}s "
+              f"over {latency['n']} jobs")
+    check = record["hash_check"]
+    print(f"hash check      : {check['distinct_specs']} distinct specs, "
+          f"consistent={check['consistent']}")
+
+    if args.out:
+        out = Path(args.out)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            _json.dumps(record, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.out}")
+    if args.record_bench:
+        from .observability.bench import merge_service_record
+
+        merge_service_record(args.record_bench, record)
+        print(f"recorded loadgen run in {args.record_bench}")
+
+    # Envelope assertions (the CI smoke): any violation is a non-zero
+    # exit so the job fails loudly instead of burying a regression.
+    bad = []
+    if not check["consistent"]:
+        bad.append(f"cache hits not bit-identical: {check}")
+    if record["errors"] or record["timed_out_waiting"]:
+        bad.append(f"{record['errors']} errors, "
+                   f"{record['timed_out_waiting']} jobs never finished")
+    if args.assert_p99 is not None and latency["n"] \
+            and latency["p99_s"] > args.assert_p99:
+        bad.append(f"p99 {latency['p99_s']:.3f}s > {args.assert_p99:g}s")
+    if args.assert_shed_rate is not None \
+            and (record["shed_rate"] or 0.0) > args.assert_shed_rate:
+        bad.append(f"shed rate {record['shed_rate']} > "
+                   f"{args.assert_shed_rate:g}")
+    if args.assert_min_hits is not None \
+            and record["cache_hits"] < args.assert_min_hits:
+        bad.append(f"only {record['cache_hits']} cache hits "
+                   f"(< {args.assert_min_hits})")
+    for line in bad:
+        print(f"loadgen FAIL    : {line}", file=sys.stderr)
+    return 1 if bad else 0
 
 
 def cmd_convert(args) -> int:
@@ -949,6 +1122,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--spool", metavar="DIR",
                          help="watch DIR/incoming/*.json for job specs and "
                               "write DIR/results/<id>.json as jobs finish")
+    p_serve.add_argument("--listen", metavar="[HOST:]PORT",
+                         help="serve the repro-wire/1 TCP protocol until "
+                              "interrupted (see docs/SERVICE.md)")
     p_serve.add_argument("--drain-idle", type=float, default=10.0,
                          dest="drain_idle", metavar="SECONDS",
                          help="spool mode: exit after this long with no "
@@ -964,6 +1140,11 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="tenant_quota", metavar="N",
                          help="max queued+running jobs per tenant "
                               "(default: no quota)")
+    p_serve.add_argument("--cache-bytes", type=int,
+                         default=256 * 1024 * 1024, dest="cache_bytes",
+                         metavar="BYTES",
+                         help="result-cache budget; 0 disables the cache "
+                              "(default 256 MiB)")
     p_serve.add_argument("--job-timeout", type=float, default=None,
                          dest="job_timeout", metavar="SECONDS",
                          help="per-job wall-clock watchdog (default: none)")
@@ -998,11 +1179,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
-        "submit", help="drop one job into a serve --spool directory"
+        "submit",
+        help="submit one job: to a serve --spool directory or over TCP",
     )
     _add_design_args(p_submit)
-    p_submit.add_argument("--spool", required=True, metavar="DIR",
+    p_submit.add_argument("--spool", metavar="DIR",
                           help="the spool directory repro serve watches")
+    p_submit.add_argument("--connect", metavar="HOST:PORT",
+                          help="submit over the repro-wire/1 protocol to a "
+                               "repro serve --listen server")
     p_submit.add_argument("--id", help="job id (default: derived, unique)")
     p_submit.add_argument("--seed", type=int, default=0)
     p_submit.add_argument("--max-iterations", type=int, default=None,
@@ -1023,6 +1208,64 @@ def build_parser() -> argparse.ArgumentParser:
                           dest="wait_timeout", metavar="SECONDS",
                           help="--wait deadline (default 300)")
     p_submit.set_defaults(func=cmd_submit)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop Poisson load run against the placement service",
+    )
+    p_loadgen.add_argument("--connect", metavar="HOST:PORT",
+                           help="drive an already-listening server "
+                                "(default: spawn one for the run)")
+    p_loadgen.add_argument("--duration", type=float, default=30.0,
+                           metavar="SECONDS",
+                           help="arrival-schedule length (default 30)")
+    p_loadgen.add_argument("--rps", type=float, default=20.0,
+                           help="mean offered arrival rate (default 20)")
+    p_loadgen.add_argument("--source", default="tiny",
+                           help="bench size every job places (default tiny)")
+    p_loadgen.add_argument("--unique-specs", type=int, default=8,
+                           dest="unique_specs", metavar="N",
+                           help="distinct job seeds rotated through; repeats "
+                                "exercise the result cache (default 8)")
+    p_loadgen.add_argument("--max-iterations", type=int, default=8,
+                           dest="max_iterations", metavar="N",
+                           help="per-job iteration cap (default 8)")
+    p_loadgen.add_argument("--no-legalize", action="store_true",
+                           dest="no_legalize")
+    p_loadgen.add_argument("--seed", type=int, default=0,
+                           help="schedule RNG seed (default 0)")
+    p_loadgen.add_argument("--tenants", default="default",
+                           help="tenant mix NAME[=WEIGHT][,...] "
+                                "(default: one 'default' tenant)")
+    p_loadgen.add_argument("--drain-timeout", type=float, default=60.0,
+                           dest="drain_timeout", metavar="SECONDS",
+                           help="wait for stragglers after the last arrival "
+                                "(default 60)")
+    p_loadgen.add_argument("--workers", type=int, default=2,
+                           help="spawned server: worker processes "
+                                "(default 2)")
+    p_loadgen.add_argument("--max-queue-depth", type=int, default=64,
+                           dest="max_queue_depth", metavar="N")
+    p_loadgen.add_argument("--tenant-quota", type=int, default=None,
+                           dest="tenant_quota", metavar="N")
+    p_loadgen.add_argument("--cache-bytes", type=int,
+                           default=256 * 1024 * 1024, dest="cache_bytes",
+                           metavar="BYTES")
+    p_loadgen.add_argument("--assert-p99", type=float, default=None,
+                           dest="assert_p99", metavar="SECONDS",
+                           help="fail (exit 1) if p99 latency exceeds this")
+    p_loadgen.add_argument("--assert-shed-rate", type=float, default=None,
+                           dest="assert_shed_rate", metavar="FRACTION",
+                           help="fail if the shed fraction exceeds this")
+    p_loadgen.add_argument("--assert-min-hits", type=int, default=None,
+                           dest="assert_min_hits", metavar="N",
+                           help="fail with fewer result-cache hits")
+    p_loadgen.add_argument("--out", help="write the loadgen record here")
+    p_loadgen.add_argument("--record-bench", metavar="PATH",
+                           dest="record_bench",
+                           help="merge the loadgen record into this "
+                                "BENCH_kraftwerk.json")
+    p_loadgen.set_defaults(func=cmd_loadgen)
 
     p_convert = sub.add_parser("convert", help="export to Bookshelf")
     _add_design_args(p_convert)

@@ -22,7 +22,6 @@ from .placer import (
     IterationStats,
     KraftwerkPlacer,
     PlacementResult,
-    place_circuit,
 )
 from .poisson import (
     SPECTRAL_MODES,
@@ -75,7 +74,6 @@ __all__ = [
     "IterationStats",
     "KraftwerkPlacer",
     "PlacementResult",
-    "place_circuit",
     "SPECTRAL_MODES",
     "DctPoissonSolver",
     "ForceField",

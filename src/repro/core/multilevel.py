@@ -95,9 +95,15 @@ class MultilevelPlacer:
         # runs (bit-identically — see core/reuse.py).
         self.reuse = reuse
 
-    def place(self, resume_from=None) -> MultilevelResult:
+    def place(self, resume_from=None, iteration_hook=None) -> MultilevelResult:
         """Run the V-cycle; ``resume_from`` (a checkpoint of the original
-        netlist) skips the coarse traversal and resumes the refinement."""
+        netlist) skips the coarse traversal and resumes the refinement.
+
+        ``iteration_hook`` observes the level-0 refinement only — coarse
+        levels place clusters, whose stats would mislead a progress
+        stream — and opens that placer's observer gate exactly like
+        :meth:`KraftwerkPlacer.place`.
+        """
         t0 = time.perf_counter()
         telemetry = self.telemetry
         # Coarse stages never checkpoint: a snapshot must always describe
@@ -176,6 +182,7 @@ class MultilevelPlacer:
                     else self.refine_iterations
                 ),
                 resume_from=resume_from,
+                iteration_hook=iteration_hook,
             )
             span.add("cells", self.netlist.num_movable)
             span.add("iterations", refine.iterations)

@@ -742,28 +742,3 @@ class KraftwerkPlacer:
             np.maximum(demand - grid.bin_area, 0.0).sum()
         ) / max(self.netlist.movable_area(), 1e-12)
         return ratio, overflow
-
-
-def place_circuit(
-    netlist: Netlist,
-    region: PlacementRegion,
-    config: Optional[PlacerConfig] = None,
-    **place_kwargs,
-) -> PlacementResult:
-    """Deprecated convenience wrapper; use :func:`repro.api.place` instead.
-
-    .. deprecated:: 1.1
-        :func:`repro.api.place` accepts a netlist, generated circuit or
-        Bookshelf path, derives a region when needed, and optionally
-        legalizes — this shim survives only for source compatibility and
-        will be removed in a future release.
-    """
-    import warnings
-
-    warnings.warn(
-        "place_circuit() is deprecated; use repro.api.place() "
-        "(or KraftwerkPlacer directly) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return KraftwerkPlacer(netlist, region, config).place(**place_kwargs)

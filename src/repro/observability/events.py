@@ -41,14 +41,15 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 
 def latency_summary(values: Sequence[float]) -> Dict[str, Any]:
-    """p50/p99/mean/max over job latencies (all ``None`` when empty)."""
+    """p50/p99/p999/mean/max over job latencies (all ``None`` when empty)."""
     if not values:
-        return {"n": 0, "p50_s": None, "p99_s": None,
+        return {"n": 0, "p50_s": None, "p99_s": None, "p999_s": None,
                 "mean_s": None, "max_s": None}
     return {
         "n": len(values),
         "p50_s": round(percentile(values, 50), 6),
         "p99_s": round(percentile(values, 99), 6),
+        "p999_s": round(percentile(values, 99.9), 6),
         "mean_s": round(sum(values) / len(values), 6),
         "max_s": round(max(values), 6),
     }

@@ -92,6 +92,9 @@ def _job_payload(
         else None,
         "keep_placements": keep_placements,
         "resume": resume,
+        # Set by the service when a client subscribed to this job before
+        # dispatch; opens the placer's per-iteration observer gate.
+        "stream_progress": False,
     }
 
 
@@ -110,12 +113,21 @@ def _worker_initializer() -> None:
     install_env_hooks()
 
 
-def _execute_job(payload: Dict[str, Any]) -> JobResult:
+def _execute_job(
+    payload: Dict[str, Any],
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> JobResult:
     """Run one job to completion inside the current process.
 
     Top-level (pickle-importable) so it works under every start method.
     Any exception is converted into a failed :class:`JobResult`; nothing a
     single job does can take down the batch.
+
+    *progress*, when given **and** the payload carries
+    ``stream_progress=True``, receives one JSON-safe dict per placer
+    transformation — the worker half of the streaming-progress bridge.
+    Passing ``None`` (every batch path) keeps the placer's observer gate
+    closed: the per-iteration stats are never computed at all.
     """
     from contextlib import ExitStack
 
@@ -126,6 +138,16 @@ def _execute_job(payload: Dict[str, Any]) -> JobResult:
     name = payload["name"]
     index = payload["index"]
     seed = payload["seed"]
+    iteration_hook = None
+    if progress is not None and payload.get("stream_progress"):
+        def iteration_hook(stats, placement):  # noqa: ARG001 — placement unused
+            progress({
+                "iteration": stats.iteration,
+                "hpwl_m": stats.hpwl_m,
+                "overflow_fraction": stats.overflow_fraction,
+                "max_force": stats.max_force,
+                "seconds": round(stats.seconds, 6),
+            })
     telemetry = Telemetry()
     t0 = time.perf_counter()
     try:
@@ -153,6 +175,7 @@ def _execute_job(payload: Dict[str, Any]) -> JobResult:
                 max_iterations=payload["max_iterations"],
                 telemetry=telemetry,
                 resume_from=resume_from,
+                iteration_hook=iteration_hook,
             )
         trace_path = payload["trace_path"]
         if trace_path is not None:
@@ -179,6 +202,7 @@ def _execute_job(payload: Dict[str, Any]) -> JobResult:
             phases=phases,
             flow=flow if payload["keep_placements"] else None,
             resumed_iteration=resumed_iteration,
+            positions_hash=flow.positions_hash(),
         )
     except Exception as exc:  # noqa: BLE001 — isolation is the contract
         return JobResult(

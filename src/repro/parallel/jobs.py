@@ -17,6 +17,8 @@ from ..api import FlowResult
 from ..core import PlacerConfig
 
 BATCH_SCHEMA = "repro-batch/1"
+#: Round-trip schema tag for :meth:`JobResult.to_dict`.
+RESULT_SCHEMA = "repro-jobresult/1"
 
 
 @dataclass(frozen=True)
@@ -105,6 +107,11 @@ class JobResult:
     #: Iteration the run resumed from when a valid checkpoint was picked
     #: up (``None`` for a fresh start) — how the service proves migration.
     resumed_iteration: Optional[int] = None
+    #: SHA-256 over the final placement's coordinate bytes (same digest as
+    #: :func:`repro.observability.bench.placement_hash`).  Always computed
+    #: worker-side for successful jobs, even when the coordinate arrays
+    #: themselves are dropped — bit-exact identity travels for free.
+    positions_hash: Optional[str] = None
 
     def summary(self) -> Dict[str, Any]:
         """JSON-safe scalar summary of this job."""
@@ -126,7 +133,64 @@ class JobResult:
             "trace_path": self.trace_path,
             "phases": {k: round(v, 6) for k, v in self.phases.items()},
             "resumed_iteration": self.resumed_iteration,
+            "positions_hash": self.positions_hash,
         }
+
+    def to_dict(self, *, placements: bool = False) -> Dict[str, Any]:
+        """Versioned round-trip form (wire frames, spool results).
+
+        With ``placements=True`` the embedded :class:`FlowResult` carries
+        its coordinate arrays (see :meth:`FlowResult.to_dict`); otherwise
+        only scalars and the positions hash travel.
+        """
+        data = self.summary()
+        data["schema"] = RESULT_SCHEMA
+        data["flow"] = (
+            self.flow.to_dict(placements=placements)
+            if self.flow is not None else None
+        )
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], *, netlist=None) -> "JobResult":
+        """Rebuild from :meth:`to_dict`.
+
+        The embedded flow is reconstructed only when it carried coordinate
+        arrays and *netlist* names the design they belong to; otherwise
+        ``flow`` stays ``None`` and the scalar summary stands alone.
+        """
+        schema = data.get("schema")
+        if schema != RESULT_SCHEMA:
+            raise ValueError(
+                f"expected schema {RESULT_SCHEMA!r}, got {schema!r}"
+            )
+        flow = None
+        flow_data = data.get("flow")
+        if flow_data is not None and netlist is not None and (
+            flow_data.get("placement") is not None
+        ):
+            flow = FlowResult.from_dict(flow_data, netlist=netlist)
+        return cls(
+            name=str(data["name"]),
+            index=int(data.get("index", 0)),
+            seed=int(data.get("seed", 0)),
+            ok=bool(data["ok"]),
+            hpwl_m=data.get("hpwl_m"),
+            legal_hpwl_m=data.get("legal_hpwl_m"),
+            final_hpwl_m=data.get("final_hpwl_m"),
+            iterations=int(data.get("iterations", 0)),
+            converged=bool(data.get("converged", False)),
+            timed_out=bool(data.get("timed_out", False)),
+            seconds=float(data.get("seconds", 0.0)),
+            recovery_escalations=int(data.get("recovery_escalations", 0)),
+            error=data.get("error"),
+            error_type=data.get("error_type"),
+            trace_path=data.get("trace_path"),
+            phases=dict(data.get("phases") or {}),
+            flow=flow,
+            resumed_iteration=data.get("resumed_iteration"),
+            positions_hash=data.get("positions_hash"),
+        )
 
 
 @dataclass(frozen=True)
@@ -226,4 +290,10 @@ class BatchResult:
         return path
 
 
-__all__ = ["BATCH_SCHEMA", "BatchResult", "JobResult", "PlacementJob"]
+__all__ = [
+    "BATCH_SCHEMA",
+    "BatchResult",
+    "JobResult",
+    "PlacementJob",
+    "RESULT_SCHEMA",
+]

@@ -18,15 +18,23 @@ Layering (each module only knows the one below):
 - :mod:`~repro.service.pool` — supervised worker processes: pipes,
   heartbeats, sentinels, capped-backoff respawns;
 - :mod:`~repro.service.supervisor` — priority queue, per-job watchdogs,
-  retry policy, checkpoint migration, drain;
+  retry policy, checkpoint migration, result cache, drain;
 - :mod:`~repro.service.admission` — bounded queue, tenant quotas,
   lifecycle (accepting/draining/closed);
-- :mod:`~repro.service.jobs` — job specs, retry policy, records.
+- :mod:`~repro.service.jobs` — job specs, retry policy, records;
+- :mod:`~repro.service.cache` — signature-keyed ``FlowResult`` LRU;
+- :mod:`~repro.service.progress` — per-job progress fan-out;
+- :mod:`~repro.service.net` — the ``repro-wire/1`` TCP front end;
+- :mod:`~repro.service.loadgen` — open-loop Poisson load harness.
+
+Clients should reach all of this through :class:`repro.api.Client`.
 """
 
 from .admission import AdmissionController, AdmissionDecision, SHED_REASONS
+from .cache import ResultCache, job_signature
 from .jobs import (
     FAILURE_CLASSES,
+    JOB_SCHEMA,
     AttemptRecord,
     JobRecord,
     JobState,
@@ -36,7 +44,16 @@ from .jobs import (
     SubmitResult,
     classify_failure,
 )
+from .loadgen import LOADGEN_SCHEMA, LoadgenConfig, run_loadgen
+from .net import (
+    MAX_FRAME_BYTES,
+    PlacementServer,
+    WIRE_SCHEMA,
+    WireClient,
+    WireError,
+)
 from .pool import WorkerDeath, WorkerHandle, WorkerPool
+from .progress import PROGRESS_EVENT, ProgressBroker, RESULT_EVENT
 from .supervisor import PlacementService, ServiceConfig, serve_jobs
 
 __all__ = [
@@ -44,18 +61,32 @@ __all__ = [
     "AdmissionDecision",
     "AttemptRecord",
     "FAILURE_CLASSES",
+    "JOB_SCHEMA",
     "JobRecord",
     "JobState",
+    "LOADGEN_SCHEMA",
+    "LoadgenConfig",
+    "MAX_FRAME_BYTES",
+    "PROGRESS_EVENT",
+    "PlacementServer",
     "PlacementService",
+    "ProgressBroker",
+    "RESULT_EVENT",
+    "ResultCache",
     "RetryPolicy",
     "SERVICE_SCHEMA",
     "SHED_REASONS",
     "ServiceJob",
     "ServiceConfig",
     "SubmitResult",
+    "WIRE_SCHEMA",
+    "WireClient",
+    "WireError",
     "WorkerDeath",
     "WorkerHandle",
     "WorkerPool",
     "classify_failure",
+    "job_signature",
+    "run_loadgen",
     "serve_jobs",
 ]

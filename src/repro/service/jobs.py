@@ -22,7 +22,12 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..parallel.jobs import JobResult, PlacementJob
 
-SERVICE_SCHEMA = "repro-service/1"
+#: Service report schema.  ``/2`` adds the result-cache block, per-job
+#: ``cached`` flags and p999 latency (PR 10); the report shape is
+#: otherwise a superset of ``/1``.
+SERVICE_SCHEMA = "repro-service/2"
+#: Round-trip schema tag for :meth:`JobRecord.to_dict`.
+JOB_SCHEMA = "repro-job/1"
 
 #: Failure classes a finished attempt can be attributed to.  The first
 #: three are the retryable-by-default ones; ``rejected`` (bad input, e.g.
@@ -127,11 +132,19 @@ class ServiceJob:
 
     @classmethod
     def from_spec(cls, spec: Dict[str, Any], job_id: str) -> "ServiceJob":
-        """Build from a JSON job spec (the ``repro submit`` file format)."""
+        """Build from a JSON job spec (the ``repro submit`` file format,
+        and the body of a ``repro-wire/1`` submit frame).
+
+        ``netlist_text`` carries an inline design in the canonical repro
+        netlist format (see :func:`repro.netlist.io.netlist_to_string`) —
+        the way a wire client ships a live :class:`Netlist` that has no
+        name resolvable server-side.  It wins over ``source``.
+        """
         known = {
-            "id", "source", "seed", "config", "name", "legalize",
-            "max_iterations", "scale", "utilization", "inject_faults",
-            "priority", "tenant", "timeout_seconds", "retry",
+            "id", "source", "netlist_text", "seed", "config", "name",
+            "legalize", "max_iterations", "scale", "utilization",
+            "inject_faults", "priority", "tenant", "timeout_seconds",
+            "retry",
         }
         unknown = set(spec) - known
         if unknown:
@@ -139,10 +152,16 @@ class ServiceJob:
                 f"unknown job-spec keys {sorted(unknown)}; known keys are "
                 f"{sorted(known)}"
             )
-        if "source" not in spec:
-            raise ValueError("job spec needs a 'source'")
+        if "source" not in spec and "netlist_text" not in spec:
+            raise ValueError("job spec needs a 'source' or 'netlist_text'")
+        if spec.get("netlist_text") is not None:
+            from ..netlist.io import netlist_from_string
+
+            source: Any = netlist_from_string(spec["netlist_text"])
+        else:
+            source = spec["source"]
         job = PlacementJob(
-            source=spec["source"],
+            source=source,
             seed=int(spec.get("seed", 0)),
             config=spec.get("config"),
             name=spec.get("name") or job_id,
@@ -164,6 +183,58 @@ class ServiceJob:
             timeout_seconds=spec.get("timeout_seconds"),
             retry=RetryPolicy.from_dict(retry) if retry is not None else None,
         )
+
+    def to_spec(self) -> Dict[str, Any]:
+        """The JSON job spec this job round-trips through (inverse of
+        :meth:`from_spec` — what a wire client puts in a submit frame).
+
+        Name/path sources travel as strings; a live netlist travels as
+        ``netlist_text``.  A ``(netlist, region)`` tuple source cannot
+        serialize (explicit regions have no canonical text form) and
+        raises ``ValueError`` — resolve it to a Bookshelf file first.
+        """
+        job = self.job
+        spec: Dict[str, Any] = {"id": self.job_id}
+        source = job.source
+        if isinstance(source, (str,)) or hasattr(source, "__fspath__"):
+            spec["source"] = str(source)
+        else:
+            netlist = getattr(source, "netlist", source)
+            if isinstance(source, tuple) or not hasattr(netlist, "cells"):
+                raise ValueError(
+                    "cannot serialize a (netlist, region) tuple source; "
+                    "use a name/path source or a bare Netlist"
+                )
+            from ..netlist.io import netlist_to_string
+
+            spec["netlist_text"] = netlist_to_string(netlist)
+        if job.seed:
+            spec["seed"] = int(job.seed)
+        if job.config is not None:
+            spec["config"] = dict(job.config)
+        if job.name:
+            spec["name"] = job.name
+        if not job.legalize:
+            spec["legalize"] = False
+        if job.max_iterations is not None:
+            spec["max_iterations"] = job.max_iterations
+        if job.scale != 0.2:
+            spec["scale"] = job.scale
+        if job.utilization != 0.8:
+            spec["utilization"] = job.utilization
+        if job.inject_faults:
+            spec["inject_faults"] = [
+                [site, dict(kwargs)] for site, kwargs in job.inject_faults
+            ]
+        if self.priority:
+            spec["priority"] = self.priority
+        if self.tenant != "default":
+            spec["tenant"] = self.tenant
+        if self.timeout_seconds is not None:
+            spec["timeout_seconds"] = self.timeout_seconds
+        if self.retry is not None:
+            spec["retry"] = self.retry.to_dict()
+        return spec
 
 
 class JobState(str, Enum):
@@ -216,6 +287,11 @@ class JobRecord:
     failure_class: Optional[str] = None
     reason: Optional[str] = None
     not_before: float = 0.0  # earliest dispatch time (retry backoff)
+    #: True when the job was answered from the result cache without
+    #: dispatching (its flow is bit-identical to the run that seeded it).
+    cached: bool = False
+    #: Content signature of the job spec (``None`` when uncacheable).
+    signature: Optional[str] = None
 
     @property
     def job_id(self) -> str:
@@ -255,7 +331,65 @@ class JobRecord:
             if self.result is not None else self.reason,
             "error_type": self.result.error_type
             if self.result is not None else None,
+            "cached": self.cached,
         }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Versioned round-trip form (schema ``repro-job/1``).
+
+        This is the record a ``repro-wire/1`` ``result`` frame carries and
+        checkpoint metadata stores: identity, terminal state, outcome and
+        the embedded :meth:`JobResult.to_dict` scalars (positions hash
+        included, coordinate arrays not).  Worker-attempt timestamps are
+        summarized, not round-tripped.
+        """
+        data = self.summary()
+        data["schema"] = JOB_SCHEMA
+        data["seq"] = self.seq
+        data["signature"] = self.signature
+        if isinstance(self.spec.job.source, str):
+            data["source"] = self.spec.job.source
+        data["result"] = (
+            self.result.to_dict(placements=False)
+            if self.result is not None else None
+        )
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobRecord":
+        """Rebuild a client-side view of the record from :meth:`to_dict`.
+
+        The spec is reduced to identity + scheduling metadata (the pure
+        job already ran server-side); ``latency_s`` is preserved via the
+        stored value, attempt objects are not reconstructed.
+        """
+        schema = data.get("schema")
+        if schema != JOB_SCHEMA:
+            raise ValueError(
+                f"expected schema {JOB_SCHEMA!r}, got {schema!r}"
+            )
+        job_id = str(data["job_id"])
+        spec = ServiceJob(
+            job=PlacementJob(
+                source=data.get("source") or job_id, name=job_id
+            ),
+            job_id=job_id,
+            priority=int(data.get("priority", 0)),
+            tenant=str(data.get("tenant", "default")),
+        )
+        record = cls(spec=spec, seq=int(data.get("seq", 0)))
+        record.state = JobState(data["state"])
+        record.failure_class = data.get("failure_class")
+        record.reason = data.get("reason")
+        record.cached = bool(data.get("cached", False))
+        record.signature = data.get("signature")
+        latency = data.get("latency_s")
+        record.submitted_at = 0.0
+        record.finished_at = float(latency) if latency is not None else None
+        result = data.get("result")
+        if result is not None:
+            record.result = JobResult.from_dict(result)
+        return record
 
 
 @dataclass(frozen=True)
@@ -265,11 +399,15 @@ class SubmitResult:
     admitted: bool
     job_id: str
     reason: Optional[str] = None
+    #: True when the submit was answered from the result cache (the job
+    #: is already terminal by the time this returns).
+    cached: bool = False
 
 
 __all__ = [
     "AttemptRecord",
     "FAILURE_CLASSES",
+    "JOB_SCHEMA",
     "JobRecord",
     "JobState",
     "RetryPolicy",

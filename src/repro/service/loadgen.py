@@ -1,0 +1,283 @@
+"""Open-loop load generation against the wire protocol.
+
+The generator is **open-loop**: the arrival schedule is drawn up front
+from a seeded exponential (Poisson-process) inter-arrival distribution
+and submitted on that clock regardless of how the server is coping — the
+methodologically honest way to measure a service under saturation
+(closed-loop clients self-throttle and hide queueing collapse, the
+coordinated-omission trap).  Latency is therefore measured from the
+*scheduled* arrival time, not from when the submit call got around to
+running.
+
+Each arrival is one ``submit`` RPC over a per-tenant ``repro-wire/1``
+connection, immediately followed by a ``result`` request that arms the
+server-side terminal watcher; the client's reader thread timestamps the
+asynchronous ``result`` frame.  Specs rotate through ``unique_specs``
+distinct seeds, so a sustained run exercises the signature cache — the
+first submit of each seed is a cold placement, every repeat should be a
+hit, and the record cross-checks that every result of the same spec
+carries the same positions hash (cache hits bit-identical to cold runs).
+
+The outcome is a ``repro-service/2`` record (``kind: "loadgen"``) with
+p50/p99/p999 latency, shed rate, cache hit rate and the server's own
+report, ready for ``merge_service_record`` into the bench JSON.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..observability.events import latency_summary
+from .jobs import SERVICE_SCHEMA
+
+#: Loadgen records share the service schema family.
+LOADGEN_SCHEMA = SERVICE_SCHEMA
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Every knob of one load run."""
+
+    #: Run length of the arrival schedule, seconds.
+    duration_s: float = 30.0
+    #: Mean offered arrival rate, requests/second (Poisson).
+    rps: float = 20.0
+    #: Tenant mix: ``{tenant: weight}``; one connection (and token) each.
+    tenants: Dict[str, float] = field(default_factory=lambda: {"default": 1.0})
+    #: Schedule/spec RNG seed — the whole run replays from it.
+    seed: int = 0
+    #: Placement source every job uses (bench size / suite name).
+    source: str = "tiny"
+    #: Number of distinct job seeds rotated through — the dedup knob:
+    #: ``offered/unique_specs`` submits per signature, all but the first
+    #: answerable from the cache.
+    unique_specs: int = 8
+    #: Per-job iteration cap (keeps cold runs short under load).
+    max_iterations: Optional[int] = 8
+    legalize: bool = True
+    #: How long to wait after the last arrival for stragglers, seconds.
+    drain_timeout_s: float = 60.0
+    #: Per-RPC reply timeout, seconds.
+    rpc_timeout_s: float = 30.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "duration_s": self.duration_s,
+            "rps": self.rps,
+            "tenants": dict(self.tenants),
+            "seed": self.seed,
+            "source": self.source,
+            "unique_specs": self.unique_specs,
+            "max_iterations": self.max_iterations,
+            "legalize": self.legalize,
+        }
+
+
+def arrival_schedule(
+    cfg: LoadgenConfig,
+) -> List[Tuple[float, str, int]]:
+    """The full run, precomputed: ``(at_s, tenant, spec_seed)`` tuples.
+
+    Deterministic in ``cfg.seed`` — replaying a schedule against two
+    server builds offers byte-identical load.
+    """
+    rng = random.Random(cfg.seed)
+    names = list(cfg.tenants)
+    weights = [float(cfg.tenants[t]) for t in names]
+    schedule: List[Tuple[float, str, int]] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(cfg.rps)
+        if t >= cfg.duration_s:
+            return schedule
+        tenant = rng.choices(names, weights=weights, k=1)[0]
+        schedule.append((t, tenant, rng.randrange(cfg.unique_specs)))
+
+
+class _Tally:
+    """Thread-shared run accounting (reader threads + scheduler)."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        #: job_id -> (scheduled_at_s, spec_seed, tenant, cached_submit)
+        self.inflight: Dict[str, Tuple[float, int, str, bool]] = {}
+        self.latencies: List[float] = []
+        self.shed: Dict[str, int] = {}
+        self.errors = 0
+        self.completed = 0
+        self.cached = 0
+        self.failed_jobs = 0
+        #: spec_seed -> set of positions hashes seen (must stay singleton).
+        self.hashes: Dict[int, set] = {}
+        self.all_done = threading.Event()
+        self.expected = 0
+        #: Set once the scheduler finished submitting; until then an empty
+        #: inflight map means "not started", not "drained".
+        self.all_armed = False
+
+    def on_result_frame(self, t0: float, frame: Dict[str, Any]) -> None:
+        now = time.monotonic()
+        job_id = str(frame.get("job"))
+        record = frame.get("record") or {}
+        with self.lock:
+            meta = self.inflight.pop(job_id, None)
+            if meta is None:
+                return
+            scheduled_at, spec_seed, _tenant, cached = meta
+            self.completed += 1
+            if cached:
+                self.cached += 1
+            if record.get("state") == "done":
+                self.latencies.append((now - t0) - scheduled_at)
+                result = record.get("result") or {}
+                digest = result.get("positions_hash")
+                if digest is not None:
+                    self.hashes.setdefault(spec_seed, set()).add(digest)
+            else:
+                self.failed_jobs += 1
+            if self.all_armed and not self.inflight:
+                self.all_done.set()
+
+
+def run_loadgen(
+    cfg: LoadgenConfig,
+    host: str,
+    port: int,
+) -> Dict[str, Any]:
+    """Drive one open-loop run against a listening server; returns the
+    ``repro-service/2`` loadgen record."""
+    from .net import WireClient, WireError
+
+    schedule = arrival_schedule(cfg)
+    tally = _Tally()
+    t0 = time.monotonic()
+    clients: Dict[str, WireClient] = {}
+    try:
+        for tenant in cfg.tenants:
+            client = WireClient(
+                host, port, token=tenant, timeout=cfg.rpc_timeout_s
+            )
+            client.on_result = (
+                lambda frame, _t0=t0: tally.on_result_frame(_t0, frame)
+            )
+            clients[tenant] = client
+
+        for i, (at_s, tenant, spec_seed) in enumerate(schedule):
+            now = time.monotonic() - t0
+            if at_s > now:
+                time.sleep(at_s - now)
+            job_id = f"lg{i:06d}"
+            spec: Dict[str, Any] = {
+                "id": job_id,
+                "source": cfg.source,
+                "seed": spec_seed,
+                "legalize": cfg.legalize,
+            }
+            if cfg.max_iterations is not None:
+                spec["max_iterations"] = cfg.max_iterations
+            client = clients[tenant]
+            try:
+                reply = client._rpc({
+                    "type": "submit", "spec": spec, "subscribe": False,
+                })
+                if reply.get("type") == "shed":
+                    with tally.lock:
+                        reason = str(reply.get("reason"))
+                        tally.shed[reason] = tally.shed.get(reason, 0) + 1
+                    continue
+                with tally.lock:
+                    tally.inflight[job_id] = (
+                        at_s, spec_seed, tenant, bool(reply.get("cached")),
+                    )
+                    tally.expected += 1
+                # Arm the terminal watcher; the result frame comes back
+                # asynchronously and the reader thread timestamps it.
+                client._rpc({"type": "result", "job": job_id})
+            except WireError:
+                with tally.lock:
+                    tally.errors += 1
+                    tally.inflight.pop(job_id, None)
+
+        with tally.lock:
+            tally.all_armed = True
+            drained = not tally.inflight
+        if drained:
+            tally.all_done.set()
+        tally.all_done.wait(cfg.drain_timeout_s)
+
+        report: Optional[Dict[str, Any]] = None
+        try:
+            report = next(iter(clients.values())).report()
+        except WireError:
+            pass
+    finally:
+        for client in clients.values():
+            client.close()
+
+    wall = time.monotonic() - t0
+    with tally.lock:
+        offered = len(schedule)
+        shed_total = sum(tally.shed.values())
+        hash_conflicts = sorted(
+            seed for seed, digests in tally.hashes.items()
+            if len(digests) > 1
+        )
+        record = {
+            "schema": LOADGEN_SCHEMA,
+            "kind": "loadgen",
+            "loadgen": cfg.to_dict(),
+            "wall_seconds": round(wall, 3),
+            "offered": offered,
+            "offered_rps": round(offered / cfg.duration_s, 3),
+            "completed": tally.completed,
+            "failed": tally.failed_jobs,
+            "errors": tally.errors,
+            "timed_out_waiting": len(tally.inflight),
+            "shed": shed_total,
+            "shed_reasons": dict(tally.shed),
+            "shed_rate": round(shed_total / offered, 6) if offered else None,
+            "cache_hits": tally.cached,
+            "cache_hit_rate": round(tally.cached / tally.completed, 6)
+            if tally.completed else None,
+            "latency": latency_summary(tally.latencies),
+            # Bit-identity under caching: one positions hash per distinct
+            # spec across every cold run and cache hit, or the run fails.
+            "hash_check": {
+                "distinct_specs": len(tally.hashes),
+                "consistent": not hash_conflicts,
+                "conflicting_specs": hash_conflicts,
+            },
+            "server": _server_excerpt(report),
+        }
+    return record
+
+
+def _server_excerpt(report: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """The server-report slice worth persisting next to client numbers."""
+    if not report:
+        return None
+    return {
+        "schema": report.get("schema"),
+        "n_submitted": report.get("n_submitted"),
+        "n_done": report.get("n_done"),
+        "n_failed": report.get("n_failed"),
+        "n_shed": report.get("n_shed"),
+        "n_cache_hits": report.get("n_cache_hits"),
+        "retries": report.get("retries"),
+        "cache": report.get("cache"),
+        "latency": report.get("latency"),
+        "queue_depth_max": report.get("queue_depth_max"),
+        "worker": report.get("worker"),
+    }
+
+
+__all__ = [
+    "LOADGEN_SCHEMA",
+    "LoadgenConfig",
+    "arrival_schedule",
+    "run_loadgen",
+]

@@ -48,6 +48,7 @@ _MSG_STOP = "stop"
 MSG_READY = "ready"
 MSG_STARTED = "started"
 MSG_DONE = "done"
+MSG_PROGRESS = "progress"
 
 #: Worker slot lifecycle states.
 STARTING, IDLE, BUSY, DOWN, STOPPED = (
@@ -94,7 +95,17 @@ def _pool_worker_main(slot: int, worker_id: int, conn, heartbeat, init) -> None:
             if health._FAULT_HOOKS:
                 health.fire_hook("worker_job", worker_id, token)
             conn.send((MSG_STARTED, token))
-            result = _execute_job(payload)
+            progress = None
+            if payload.get("stream_progress"):
+                def progress(data, _token=token):
+                    # Pipe sends are small and the parent drains eagerly;
+                    # a send that fails means the parent is gone and the
+                    # main recv loop will notice on its next call.
+                    try:
+                        conn.send((MSG_PROGRESS, _token, data))
+                    except (OSError, ValueError, BrokenPipeError):
+                        pass
+            result = _execute_job(payload, progress=progress)
             conn.send((MSG_DONE, token, result))
     except (EOFError, OSError, KeyboardInterrupt):
         pass  # parent went away; nothing to report to
@@ -409,6 +420,7 @@ class WorkerPool:
 
 __all__ = [
     "MSG_DONE",
+    "MSG_PROGRESS",
     "MSG_READY",
     "MSG_STARTED",
     "WorkerDeath",

@@ -37,8 +37,9 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..observability.events import EventLog, latency_summary
 from ..parallel.engine import _job_payload
-from ..parallel.jobs import PlacementJob
+from ..parallel.jobs import JobResult, PlacementJob
 from .admission import AdmissionController
+from .cache import ResultCache, job_signature
 from .jobs import (
     SERVICE_SCHEMA,
     AttemptRecord,
@@ -50,6 +51,7 @@ from .jobs import (
     classify_failure,
 )
 from .pool import WorkerDeath, WorkerPool
+from .progress import PROGRESS_EVENT, ProgressBroker, RESULT_EVENT
 
 #: Terminal job states — a record in one of these never changes again.
 _TERMINAL = (JobState.DONE, JobState.FAILED, JobState.CANCELLED, JobState.SHED)
@@ -81,6 +83,8 @@ class ServiceConfig:
     trace_dir: Optional[Union[str, Path]] = None
     #: Worker-scoped chaos installed in every pool worker (tests).
     inject_faults: Tuple[Tuple[str, Dict[str, Any]], ...] = ()
+    #: Byte budget of the signature-keyed result cache (0 disables it).
+    cache_bytes: int = 256 * 1024 * 1024
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -96,6 +100,7 @@ class ServiceConfig:
             "heartbeat_timeout": self.heartbeat_timeout,
             "backoff_base_s": self.backoff_base_s,
             "backoff_cap_s": self.backoff_cap_s,
+            "cache_bytes": self.cache_bytes,
         }
 
 
@@ -142,6 +147,12 @@ class PlacementService:
             inject_faults=self.config.inject_faults,
             events=self.events,
         )
+        self.cache: Optional[ResultCache] = (
+            ResultCache(self.config.cache_bytes)
+            if self.config.cache_bytes > 0 else None
+        )
+        self.broker = ProgressBroker()
+        self._watchers: Dict[str, List[Any]] = {}  # job_id -> callbacks
         self._cond = threading.Condition()
         self._records: Dict[str, JobRecord] = {}
         self._order: List[str] = []  # submission order, for reports
@@ -219,6 +230,7 @@ class PlacementService:
                         "job_cancelled", job=record.job_id,
                         reason="service_shutdown",
                     )
+                    self._job_terminal(record)
             self._cond.notify_all()
         self.events.emit("service_stop", **self.pool.counters())
         if self._owns_events:
@@ -234,8 +246,24 @@ class PlacementService:
         tenant: str = "default",
         timeout_seconds: Optional[float] = None,
         retry: Optional[RetryPolicy] = None,
+        progress: Optional[Any] = None,
     ) -> SubmitResult:
-        """Admit one job (or shed it with a structured reason)."""
+        """Admit one job (or shed it with a structured reason).
+
+        *progress*, when given, is subscribed to the job **before** it can
+        dispatch, so the stream is complete from iteration one.  A job
+        whose content signature is already in the result cache never
+        dispatches at all: it goes terminal-DONE inside this call with the
+        stored flow (bit-identical to the run that seeded it) and
+        ``SubmitResult.cached=True``.
+        """
+        # Signature first and outside the lock: hashing a big netlist must
+        # not serialize other submitters behind the condition variable.
+        raw_job = job.job if isinstance(job, ServiceJob) else job
+        signature = (
+            job_signature(raw_job) if self.cache is not None else None
+        )
+        cached_flow = self.cache.get(signature) if self.cache else None
         with self._cond:
             self._seq += 1
             seq = self._seq
@@ -252,12 +280,35 @@ class PlacementService:
                 )
             if spec.job_id in self._records:
                 raise ValueError(f"duplicate job_id {spec.job_id!r}")
+            record = JobRecord(spec=spec, seq=seq, signature=signature)
+            self._records[spec.job_id] = record
+            self._order.append(spec.job_id)
+            if progress is not None:
+                self.broker.subscribe(spec.job_id, progress)
+            if cached_flow is not None:
+                record.cached = True
+                record.result = self._result_from_flow(spec, seq, cached_flow)
+                record.state = JobState.DONE
+                record.finished_at = time.monotonic()
+                self.events.emit(
+                    "job_submit", job=spec.job_id, tenant=spec.tenant,
+                    priority=spec.priority, queue_depth=self._queued,
+                )
+                self.events.emit(
+                    "job_cache_hit", job=spec.job_id,
+                    signature=signature,
+                )
+                self.events.emit(
+                    "job_done", job=spec.job_id, attempt=0,
+                    latency_s=round(record.latency_s, 6),
+                    hpwl_m=record.result.final_hpwl_m, cached=True,
+                )
+                self._job_terminal(record)
+                self._cond.notify_all()
+                return SubmitResult(True, spec.job_id, cached=True)
             decision = self.admission.decide(
                 spec.tenant, self._queued, self._tenant_load
             )
-            record = JobRecord(spec=spec, seq=seq)
-            self._records[spec.job_id] = record
-            self._order.append(spec.job_id)
             if not decision.admitted:
                 record.state = JobState.SHED
                 record.reason = decision.reason
@@ -266,6 +317,7 @@ class PlacementService:
                     "job_shed", job=spec.job_id, tenant=spec.tenant,
                     reason=decision.reason, queue_depth=self._queued,
                 )
+                self._job_terminal(record)
                 return SubmitResult(False, spec.job_id, decision.reason)
             record.spec = self._prepared(spec)
             self._queued += 1
@@ -278,6 +330,27 @@ class PlacementService:
             )
             self._cond.notify_all()
             return SubmitResult(True, spec.job_id)
+
+    def _result_from_flow(
+        self, spec: ServiceJob, seq: int, flow
+    ) -> JobResult:
+        """A DONE :class:`JobResult` materialized from a cached flow."""
+        return JobResult(
+            name=spec.job.name or spec.job_id,
+            index=seq,
+            seed=flow.seed,
+            ok=True,
+            hpwl_m=flow.hpwl_m,
+            legal_hpwl_m=flow.legal_hpwl_m,
+            final_hpwl_m=flow.final_hpwl_m,
+            iterations=flow.iterations,
+            converged=flow.converged,
+            timed_out=flow.timed_out,
+            seconds=0.0,
+            recovery_escalations=flow.recovery_escalations,
+            positions_hash=flow.positions_hash(),
+            flow=flow,
+        )
 
     def _prepared(self, spec: ServiceJob) -> ServiceJob:
         """Pin the job's name and (if configured) its checkpoint path.
@@ -314,8 +387,58 @@ class PlacementService:
             record.finished_at = time.monotonic()
             self._tenant_load[record.spec.tenant] -= 1
             self.events.emit("job_cancelled", job=job_id, reason="cancelled")
+            self._job_terminal(record)
             self._cond.notify_all()
             return True
+
+    def subscribe(self, job_id: str, callback) -> Optional[Tuple[str, int]]:
+        """Stream *job_id*'s progress/result events into *callback*.
+
+        Returns an opaque handle for :meth:`unsubscribe`, or ``None`` when
+        the job is already terminal — in which case the terminal ``result``
+        event is delivered to *callback* immediately instead.  Callbacks
+        run under the supervisor lock and must be non-blocking enqueues.
+        """
+        with self._cond:
+            record = self._records.get(job_id)
+            if record is not None and record.state in _TERMINAL:
+                callback(self._terminal_event(record))
+                return None
+            return self.broker.subscribe(job_id, callback)
+
+    def unsubscribe(self, handle: Optional[Tuple[str, int]]) -> None:
+        self.broker.unsubscribe(handle)
+
+    def on_terminal(self, job_id: str, callback) -> None:
+        """Call ``callback(record)`` once *job_id* reaches a terminal
+        state — immediately if it already has (no submit/register race).
+        Callbacks run under the supervisor lock; enqueue and return."""
+        with self._cond:
+            record = self._records.get(job_id)
+            if record is not None and record.state in _TERMINAL:
+                callback(record)
+                return
+            self._watchers.setdefault(job_id, []).append(callback)
+
+    def _terminal_event(self, record: JobRecord) -> Dict[str, Any]:
+        return {
+            "type": RESULT_EVENT,
+            "job": record.job_id,
+            "state": record.state.value,
+            "record": record.to_dict(),
+        }
+
+    def _job_terminal(self, record: JobRecord) -> None:
+        """Fan a terminal transition out: one ``result`` event to every
+        subscriber, then the watcher callbacks, then drop the subs.
+        Called under ``self._cond`` at *every* terminal transition."""
+        self.broker.publish(record.job_id, self._terminal_event(record))
+        self.broker.close_job(record.job_id)
+        for callback in self._watchers.pop(record.job_id, ()):
+            try:
+                callback(record)
+            except Exception:  # noqa: BLE001 — watcher death is its problem
+                pass
 
     def kill_worker(self, slot: int, reason: str = "chaos") -> None:
         """Ask the loop to SIGKILL worker *slot* (chaos/ops entry point)."""
@@ -430,9 +553,18 @@ class PlacementService:
                 record.spec.job,
                 record.seq,
                 self._trace_dir,
-                keep_placements=False,
+                # The flow must travel back when it can seed the cache;
+                # without a cache (or for an uncacheable spec) results
+                # stay scalar, as before.
+                keep_placements=(
+                    self.cache is not None and record.signature is not None
+                ),
                 resume=attempt > 1,
             )
+            # Observer gating across the process boundary: the flag is
+            # read once at dispatch; no subscriber means the worker never
+            # opens the placer's per-iteration stats path at all.
+            payload["stream_progress"] = self.broker.has(job_id)
             record.attempts.append(
                 AttemptRecord(
                     attempt=attempt,
@@ -456,6 +588,14 @@ class PlacementService:
             job_id = self._inflight.get(message[1])
             if job_id is not None:
                 self._records[job_id].attempts[-1].started_at = now
+        elif tag == "progress":
+            token, data = message[1], message[2]
+            job_id = self._inflight.get(token)
+            if job_id is not None:
+                self.broker.publish(
+                    job_id,
+                    {"type": PROGRESS_EVENT, "job": job_id, **data},
+                )
         elif tag == "done":
             token, result = message[1], message[2]
             job_id = self._inflight.pop(token, None)
@@ -473,6 +613,16 @@ class PlacementService:
             if result.ok:
                 attempt.outcome = "done"
                 record.state = JobState.DONE
+                if (
+                    self.cache is not None
+                    and record.signature is not None
+                    and result.flow is not None
+                ):
+                    self.cache.put(record.signature, result.flow)
+                    # The cache owns the coordinate arrays from here; the
+                    # record keeps scalars + positions hash, as before the
+                    # cache existed (records outlive the LRU budget).
+                    result = replace(result, flow=None)
                 record.result = result
                 record.finished_at = now
                 self._tenant_load[record.spec.tenant] -= 1
@@ -482,6 +632,7 @@ class PlacementService:
                     hpwl_m=result.final_hpwl_m,
                     resumed_iteration=result.resumed_iteration,
                 )
+                self._job_terminal(record)
             else:
                 record.result = result
                 self._fail_attempt(
@@ -574,10 +725,11 @@ class PlacementService:
             "job_failed", job=record.job_id, failure_class=failure_class,
             attempts=record.attempt_count, error=error,
         )
+        self._job_terminal(record)
 
     # -- reporting -------------------------------------------------------
     def report(self) -> Dict[str, Any]:
-        """The service summary (schema ``repro-service/1``), JSON-safe.
+        """The service summary (schema ``repro-service/2``), JSON-safe.
 
         Counter fields are read from the same :class:`EventLog` counters
         the JSONL trace was written from, so trace and report agree by
@@ -614,6 +766,8 @@ class PlacementService:
                 "n_shed": by_state.get("shed", 0),
                 "retries": self.events.count("job_retry"),
                 "worker": self.pool.counters(),
+                "cache": self.cache.stats() if self.cache else None,
+                "n_cache_hits": sum(1 for r in records if r.cached),
                 "shed_reasons": dict(shed_reasons),
                 "failure_classes": dict(failure_classes),
                 "latency": latency_summary(latencies),
@@ -635,19 +789,24 @@ def serve_jobs(
     *jobs* is a sequence of :class:`PlacementJob`/:class:`ServiceJob`.
     *chaos*, when given, is called once with the running service after
     all submissions (test/CI hook for mid-flight fault injection).
+
+    This is a thin wrapper over :class:`repro.api.Client` — the unified
+    client surface; use it directly for anything beyond one-shot batches.
     """
-    with PlacementService(config, events=events) as service:
+    from ..api import Client
+
+    with Client.local(service_config=config, events=events) as client:
         for index, job in enumerate(jobs):
             if isinstance(job, (PlacementJob, ServiceJob)):
-                service.submit(job)
+                client.submit(job)
             else:  # a JSON job-spec dict (the ``repro submit`` format)
                 spec = dict(job)
                 job_id = str(spec.pop("id", None) or f"j{index + 1:05d}")
-                service.submit(ServiceJob.from_spec(spec, job_id=job_id))
+                client.submit(ServiceJob.from_spec(spec, job_id=job_id))
         if chaos is not None:
-            chaos(service)
-        service.drain()
-        report = service.report()
+            chaos(client.service)
+        client.drain()
+        report = client.report()
     return report
 
 

@@ -212,7 +212,7 @@ class TestServeCLI:
         import json
 
         report = json.loads((tmp_path / "report.json").read_text())
-        assert report["schema"] == "repro-service/1"
+        assert report["schema"] == "repro-service/2"
         assert report["n_done"] == 2
         assert report["worker"]["deaths"] == 1
         # The JSONL trace exists and carries the recovery sequence.
@@ -295,3 +295,117 @@ class TestSubmitSpool:
             "--wait-timeout", "5",
         ]) == 0
         assert "done" in capsys.readouterr().out
+
+
+class TestSubmitWire:
+    """`repro submit --connect`: assigned ids, shed exit codes."""
+
+    @pytest.fixture()
+    def wire_server(self):
+        from repro.service import (
+            PlacementServer, RetryPolicy, ServiceConfig,
+        )
+
+        config = ServiceConfig(
+            workers=1, tick_seconds=0.01, tenant_quota=1,
+            retry=RetryPolicy(backoff_base_s=0.01, backoff_cap_s=0.05),
+        )
+        with PlacementServer(service_config=config) as srv:
+            yield srv
+
+    def test_parser_flags(self):
+        args = build_parser().parse_args([
+            "submit", "--circuit", "tiny", "--connect", "127.0.0.1:9",
+        ])
+        assert args.connect == "127.0.0.1:9"
+        assert args.spool is None
+
+    def test_needs_exactly_one_transport(self, tmp_path):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["submit", "--circuit", "tiny"])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["submit", "--circuit", "tiny",
+                  "--spool", str(tmp_path), "--connect", "h:1"])
+
+    def test_prints_assigned_job_id_and_waits(self, wire_server, capsys):
+        host, port = wire_server.address
+        rc = main([
+            "submit", "--connect", f"{host}:{port}",
+            "--circuit", "tiny", "--seed", "1",
+            "--max-iterations", "2", "--no-legalize", "--wait",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        # The server assigned the id (tenant prefix + sequence).
+        assert "submitted default-" in out
+        assert "done" in out
+
+    def test_shed_exit_codes_are_structured(self, wire_server, capsys):
+        """tenant_quota -> 4; the reason lands on stderr, not buried."""
+        host, port = wire_server.address
+        # Occupy the single-job tenant quota with a slow job.
+        rc_first = main([
+            "submit", "--connect", f"{host}:{port}",
+            "--circuit", "tiny", "--seed", "1",
+            "--max-iterations", "60", "--no-legalize",
+        ])
+        assert rc_first == 0
+        rc = main([
+            "submit", "--connect", f"{host}:{port}",
+            "--circuit", "tiny", "--seed", "2",
+            "--max-iterations", "2", "--no-legalize",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 4
+        assert "tenant_quota" in captured.err
+
+    def test_draining_exit_code(self, wire_server, capsys):
+        host, port = wire_server.address
+        wire_server.service.admission.begin_drain()
+        rc = main([
+            "submit", "--connect", f"{host}:{port}",
+            "--circuit", "tiny", "--seed", "3",
+            "--max-iterations", "2", "--no-legalize",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 5
+        assert "draining" in captured.err
+
+    def test_exit_code_table_pinned(self):
+        from repro.cli import SHED_EXIT
+
+        assert SHED_EXIT == {
+            "queue_full": 3, "tenant_quota": 4, "draining": 5, "closed": 6,
+        }
+
+
+class TestLoadgenCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.duration == 30.0
+        assert args.rps == 20.0
+        assert args.unique_specs == 8
+        assert args.connect is None
+
+    def test_short_run_records_bench(self, tmp_path, capsys):
+        import json
+
+        bench = tmp_path / "bench.json"
+        out = tmp_path / "loadgen.json"
+        rc = main([
+            "loadgen", "--duration", "2", "--rps", "6",
+            "--unique-specs", "2", "--max-iterations", "3",
+            "--no-legalize", "--workers", "1",
+            "--assert-min-hits", "1",
+            "--out", str(out), "--record-bench", str(bench),
+        ])
+        stdout = capsys.readouterr().out
+        assert rc == 0
+        assert "hash check" in stdout
+        record = json.loads(out.read_text())
+        assert record["schema"] == "repro-service/2"
+        assert record["kind"] == "loadgen"
+        assert record["hash_check"]["consistent"] is True
+        assert record["completed"] >= 1
+        merged = json.loads(bench.read_text())
+        assert merged["service"]["kind"] == "loadgen"

@@ -110,14 +110,61 @@ class TestFacadeStability:
                      "run_batch", "BatchResult"):
             assert name in repro.__all__
 
-    def test_place_circuit_shim_deprecated(self):
+    def test_place_circuit_shim_removed(self):
+        """The 1.1-era ``place_circuit`` shim is gone as of 1.3.0; the
+        migration path is :func:`repro.api.place` (see docs/API.md)."""
         import repro
-        from repro.netlist import GeneratorSpec, generate_circuit
+        import repro.core
 
-        circuit = generate_circuit(
-            GeneratorSpec(name="tiny", seed=0, num_cells=60, num_rows=4)
+        assert not hasattr(repro, "place_circuit")
+        assert not hasattr(repro.core, "place_circuit")
+        assert "place_circuit" not in repro.__all__
+        assert "place_circuit" not in repro.core.__all__
+
+    def test_client_submit_signature(self):
+        """`Client.submit` is the one enqueue point for both transports —
+        its keywords are a wire-visible contract (they become spec keys)."""
+        from repro.api import Client
+
+        sig = inspect.signature(Client.submit)
+        params = list(sig.parameters.values())
+        assert params[0].name == "self"
+        assert params[1].name == "source"
+        assert params[1].kind is inspect.Parameter.POSITIONAL_OR_KEYWORD
+        keyword_only = {p.name: p.default for p in params[2:]}
+        assert all(
+            p.kind is inspect.Parameter.KEYWORD_ONLY for p in params[2:]
+        ), "everything after source must be keyword-only"
+        assert keyword_only["seed"] == 0
+        assert keyword_only["config"] is None
+        assert keyword_only["legalize"] is True
+        assert keyword_only["tenant"] == "default"
+        assert keyword_only["priority"] == 0
+        assert keyword_only["subscribe"] is False
+        assert keyword_only["job_id"] is None
+
+    def test_client_constructors(self):
+        """Both transports come from classmethod constructors, and the
+        raw ``__init__`` stays out of the contract."""
+        from repro.api import Client
+
+        local = inspect.signature(Client.local)
+        assert set(local.parameters) == {
+            "service", "service_config", "events"
+        }
+        connect = inspect.signature(Client.connect)
+        params = connect.parameters
+        assert list(params)[:2] == ["host", "port"]
+        assert params["host"].default == "127.0.0.1"
+        assert params["token"].default == "default"
+        assert params["token"].kind is inspect.Parameter.KEYWORD_ONLY
+
+    def test_job_handle_surface(self):
+        from repro.api import JobHandle
+
+        for method in ("stream", "result", "cancel"):
+            assert callable(getattr(JobHandle, method))
+        sig = inspect.signature(JobHandle.__init__)
+        assert {"job_id", "admitted", "shed_reason", "cached"} <= set(
+            sig.parameters
         )
-        with pytest.deprecated_call(match="repro.api.place"):
-            repro.place_circuit(
-                circuit.netlist, circuit.region, max_iterations=1
-            )

@@ -505,7 +505,7 @@ class TestReportTraceConsistency:
             svc.drain(timeout=120)
             report = svc.report()
         clone = json.loads(json.dumps(report))
-        assert clone["schema"] == "repro-service/1"
+        assert clone["schema"] == "repro-service/2"
         assert clone["jobs"][0]["state"] == "done"
 
 

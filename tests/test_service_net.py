@@ -1,0 +1,443 @@
+"""The TCP front end: framing, handshake, streaming, cache, disconnects.
+
+The wire contract under test: every frame is length-prefixed JSON; the
+first frame must be a versioned ``hello`` whose token *is* the tenant
+identity; a submitted spec either runs to a terminal ``result`` frame
+bit-identical to a serial run (cache hits included) or comes back
+``shed`` with a structured reason; and a client that vanishes mid-stream
+leaks nothing — no broker subscription, no blocked worker.
+"""
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro import PlacementJob, place
+from repro.api import Client
+from repro.service import (
+    PlacementServer,
+    RetryPolicy,
+    ServiceConfig,
+    WIRE_SCHEMA,
+    WireClient,
+    WireError,
+)
+from repro.service.net import MAX_FRAME_BYTES, recv_frame, send_frame
+
+
+def service_config(**kwargs):
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("tick_seconds", 0.01)
+    kwargs.setdefault("retry", RetryPolicy(backoff_base_s=0.01,
+                                           backoff_cap_s=0.05))
+    return ServiceConfig(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One shared server (1 worker, cache on) for the happy-path tests."""
+    with PlacementServer(service_config=service_config()) as srv:
+        yield srv
+
+
+def wire_submit(client, *, seed, job_id=None, max_iterations=6,
+                subscribe=False, timeout=120.0):
+    handle = client.submit(
+        "tiny", seed=seed, legalize=False, max_iterations=max_iterations,
+        job_id=job_id, subscribe=subscribe,
+    )
+    assert handle.admitted, handle.shed_reason
+    return handle
+
+
+# ----------------------------------------------------------------------
+# Framing (no service involved)
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_round_trip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"type": "x", "n": 7, "nested": {"k": [1, 2]}})
+            assert recv_frame(b) == {"type": "x", "n": 7,
+                                     "nested": {"k": [1, 2]}}
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_mid_frame_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 100) + b"short")
+            a.close()
+            with pytest.raises(EOFError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_length_prefix_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(WireError, match="exceeds"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_body_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            body = b"[1, 2, 3]\n"
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(WireError, match="not a JSON object"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+# ----------------------------------------------------------------------
+# Handshake
+# ----------------------------------------------------------------------
+class TestHandshake:
+    def test_hello_must_come_first(self, server):
+        sock = socket.create_connection(server.address, timeout=10.0)
+        try:
+            send_frame(sock, {"type": "submit", "spec": {"source": "tiny"}})
+            reply = recv_frame(sock)
+            assert reply["type"] == "error"
+            assert WIRE_SCHEMA in reply["error"]
+            # The server hangs up on a failed handshake.
+            with pytest.raises(EOFError):
+                recv_frame(sock)
+        finally:
+            sock.close()
+
+    def test_wrong_schema_rejected(self, server):
+        sock = socket.create_connection(server.address, timeout=10.0)
+        try:
+            send_frame(sock, {"type": "hello", "schema": "bogus/9",
+                              "token": "x"})
+            reply = recv_frame(sock)
+            assert reply["type"] == "error"
+        finally:
+            sock.close()
+
+    def test_token_becomes_tenant(self, server):
+        with Client.connect(*server.address, token="acme") as client:
+            handle = wire_submit(client, seed=1)
+            assert handle.job_id.startswith("acme-")
+            record = handle.result(timeout=120.0)
+            assert record.state.value == "done"
+            assert record.spec.tenant == "acme"
+
+    def test_spec_cannot_claim_another_tenant(self, server):
+        """The connection token wins over whatever the spec says."""
+        client = WireClient(*server.address, token="tenant-a", timeout=30.0)
+        try:
+            reply = client._rpc({
+                "type": "submit",
+                "spec": {"id": "steal-1", "source": "tiny", "seed": 2,
+                         "legalize": False, "max_iterations": 2,
+                         "tenant": "tenant-b"},
+            })
+            assert reply["type"] == "submitted"
+            record = client.wait_result("steal-1", timeout=120.0)
+            assert record.spec.tenant == "tenant-a"
+        finally:
+            client.close()
+
+
+# ----------------------------------------------------------------------
+# Submit / result round trip
+# ----------------------------------------------------------------------
+class TestSubmitResult:
+    def test_round_trip_and_unknown_job(self, server):
+        with Client.connect(*server.address, token="rt") as client:
+            handle = wire_submit(client, seed=3)
+            record = handle.result(timeout=120.0)
+            assert record.state.value == "done"
+            assert record.result.ok
+            assert record.result.positions_hash
+            assert record.result.hpwl_m > 0
+            # Unknown job ids are a per-request error, not a dead conn.
+            with pytest.raises(WireError, match="unknown job"):
+                client._wire.wait_result("no-such-job", timeout=5.0)
+            # The connection still works afterwards.
+            assert client.report()["schema"] == "repro-service/2"
+
+    def test_cancel_over_wire(self, server):
+        with Client.connect(*server.address, token="cx") as client:
+            # Occupy the single worker, then cancel a queued job.
+            running = wire_submit(client, seed=4, max_iterations=30)
+            queued = wire_submit(client, seed=5, max_iterations=30)
+            assert client.cancel(queued.job_id) is True
+            record = client._wait_result(queued.job_id, timeout=30.0)
+            assert record.state.value == "cancelled"
+            done = client._wait_result(running.job_id, timeout=120.0)
+            assert done.state.value == "done"
+
+    def test_report_over_wire(self, server):
+        with Client.connect(*server.address, token="rep") as client:
+            report = client.report()
+            assert report["schema"] == "repro-service/2"
+            assert "n_cache_hits" in report
+            assert report["cache"] is not None
+
+
+# ----------------------------------------------------------------------
+# Result cache over the wire: hits are bit-identical to cold runs
+# ----------------------------------------------------------------------
+class TestWireCache:
+    def test_cache_hit_bit_identical_to_cold_and_serial(self, server):
+        with Client.connect(*server.address, token="cache") as client:
+            cold = wire_submit(client, seed=21)
+            assert cold.cached is False
+            cold_rec = cold.result(timeout=120.0)
+            assert cold_rec.state.value == "done"
+
+            hit = wire_submit(client, seed=21)
+            assert hit.cached is True
+            hit_rec = hit.result(timeout=30.0)
+            assert hit_rec.state.value == "done"
+            assert hit_rec.cached is True
+
+            # Hit == cold == a fresh serial run, down to the positions.
+            serial = place("tiny", seed=21, legalize=False, max_iterations=6)
+            assert hit_rec.result.positions_hash == \
+                cold_rec.result.positions_hash
+            assert hit_rec.result.positions_hash == serial.positions_hash()
+            assert hit_rec.result.hpwl_m == pytest.approx(
+                serial.final_hpwl_m, rel=0, abs=0
+            )
+
+    def test_cache_hit_flow_arrays_match_serial(self):
+        """In-process: the cached FlowResult's arrays (not just the hash)
+        equal a fresh serial run of the same spec."""
+        import numpy as np
+
+        with Client.local(service_config=service_config()) as client:
+            first = client.submit("tiny", seed=33, legalize=False,
+                                  max_iterations=5)
+            assert first.result(timeout=120.0).state.value == "done"
+            second = client.submit("tiny", seed=33, legalize=False,
+                                   max_iterations=5)
+            assert second.cached is True
+            flow = second.result(timeout=30.0).result.flow
+            assert flow is not None
+            serial = place("tiny", seed=33, legalize=False, max_iterations=5)
+            assert np.array_equal(flow.final.x, serial.final.x)
+            assert np.array_equal(flow.final.y, serial.final.y)
+            assert flow.final_hpwl_m == serial.final_hpwl_m
+
+
+# ----------------------------------------------------------------------
+# Streaming progress
+# ----------------------------------------------------------------------
+class TestStreaming:
+    def test_subscribed_job_streams_iterations_then_result(self, server):
+        with Client.connect(*server.address, token="str") as client:
+            handle = wire_submit(client, seed=41, max_iterations=5,
+                                 subscribe=True)
+            events = list(handle.stream(timeout=120.0))
+            assert events, "no events streamed"
+            assert events[-1]["type"] == "result"
+            progress = [e for e in events if e["type"] == "progress"]
+            assert progress, "no progress frames before the result"
+            for event in progress:
+                assert event["job"] == handle.job_id
+                assert event["iteration"] >= 0
+                assert event["hpwl_m"] > 0
+                assert "overflow_fraction" in event
+            iterations = [e["iteration"] for e in progress]
+            assert iterations == sorted(iterations)
+
+    def test_unsubscribed_job_keeps_progress_off(self, server):
+        """Zero overhead when nobody listens: the dispatch payload only
+        turns streaming on for jobs with a live subscription."""
+        broker = server.service.broker
+        with Client.connect(*server.address, token="quiet") as client:
+            handle = wire_submit(client, seed=42)
+            assert not broker.has(handle.job_id)
+            record = handle.result(timeout=120.0)
+            assert record.state.value == "done"
+            assert not broker.has(handle.job_id)
+
+    def test_stream_requires_subscription(self, server):
+        with Client.connect(*server.address, token="ns") as client:
+            handle = wire_submit(client, seed=43)
+            with pytest.raises(RuntimeError, match="subscribe"):
+                list(handle.stream(timeout=5.0))
+            assert handle.result(timeout=120.0).state.value == "done"
+
+
+class TestProgressGating:
+    """The observer chain defaults to off at every layer."""
+
+    def test_payload_defaults_stream_progress_off(self):
+        from repro.parallel.engine import _job_payload
+
+        payload = _job_payload(
+            PlacementJob(source="tiny", seed=0, max_iterations=2),
+            0, None, False, False,
+        )
+        assert payload["stream_progress"] is False
+
+    def test_execute_ignores_progress_when_gated_off(self):
+        from repro.parallel.engine import _execute_job, _job_payload
+
+        calls = []
+        payload = _job_payload(
+            PlacementJob(source="tiny", seed=0, legalize=False,
+                         max_iterations=2),
+            0, None, False, False,
+        )
+        result = _execute_job(payload, progress=calls.append)
+        assert result.ok
+        assert calls == []  # gate off → the hook never fires
+
+    def test_execute_streams_when_gated_on(self):
+        from repro.parallel.engine import _execute_job, _job_payload
+
+        calls = []
+        payload = _job_payload(
+            PlacementJob(source="tiny", seed=0, legalize=False,
+                         max_iterations=3),
+            0, None, False, False,
+        )
+        payload["stream_progress"] = True
+        result = _execute_job(payload, progress=calls.append)
+        assert result.ok
+        assert len(calls) >= 1
+        assert all("iteration" in c and "hpwl_m" in c for c in calls)
+
+
+# ----------------------------------------------------------------------
+# Shedding over the wire
+# ----------------------------------------------------------------------
+class TestWireShed:
+    def test_tenant_quota_and_draining_reasons(self):
+        config = service_config(tenant_quota=1, max_queue_depth=64)
+        with PlacementServer(service_config=config) as srv:
+            with Client.connect(*srv.address, token="hog") as client:
+                first = client.submit("tiny", seed=1, legalize=False,
+                                      max_iterations=30)
+                assert first.admitted
+                second = client.submit("tiny", seed=2, legalize=False,
+                                       max_iterations=30)
+                assert second.admitted is False
+                assert second.shed_reason == "tenant_quota"
+                # Another tenant is unaffected by the hog's quota.
+                with Client.connect(*srv.address, token="calm") as other:
+                    ok = other.submit("tiny", seed=3, legalize=False,
+                                      max_iterations=2)
+                    assert ok.admitted
+                    assert ok.result(timeout=120.0).state.value == "done"
+                srv.service.admission.begin_drain()
+                late = client.submit("tiny", seed=4, legalize=False,
+                                     max_iterations=2)
+                assert late.admitted is False
+                assert late.shed_reason == "draining"
+                done = first.result(timeout=120.0)
+                assert done.state.value == "done"
+
+    def test_queue_full_reason(self):
+        config = service_config(max_queue_depth=1)
+        with PlacementServer(service_config=config) as srv:
+            with Client.connect(*srv.address, token="q") as client:
+                handles = [
+                    client.submit("tiny", seed=s, legalize=False,
+                                  max_iterations=30)
+                    for s in range(4)
+                ]
+                reasons = [h.shed_reason for h in handles if not h.admitted]
+                assert reasons, "nothing shed with a queue bound of 1"
+                assert set(reasons) == {"queue_full"}
+
+
+# ----------------------------------------------------------------------
+# Disconnect chaos: a vanished client leaks nothing
+# ----------------------------------------------------------------------
+class TestDisconnectChaos:
+    def test_disconnect_mid_stream_leaks_nothing(self, server):
+        broker = server.service.broker
+        client = Client.connect(*server.address, token="chaos", timeout=30.0)
+        handle = client.submit("tiny", seed=51, legalize=False,
+                               max_iterations=60, subscribe=True)
+        assert handle.admitted
+        job_id = handle.job_id
+        assert broker.has(job_id)
+        # Wait for at least one progress frame, then vanish rudely.
+        stream = handle.stream(timeout=60.0)
+        first = next(stream)
+        assert first["type"] in ("progress", "result")
+        client._wire.sock.close()
+
+        # The server must notice, drop the subscription, and still finish
+        # the job — no worker ever blocks on the dead socket.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            record = server.service.record(job_id)
+            if record is not None and record.state.value in (
+                "done", "failed", "cancelled"
+            ):
+                break
+            time.sleep(0.05)
+        record = server.service.record(job_id)
+        assert record is not None and record.state.value == "done"
+        assert not broker.has(job_id), "subscription leaked past disconnect"
+
+        # And the service keeps serving fresh clients afterwards.
+        with Client.connect(*server.address, token="after") as fresh:
+            again = fresh.submit("tiny", seed=52, legalize=False,
+                                 max_iterations=2)
+            assert again.result(timeout=120.0).state.value == "done"
+
+    def test_abrupt_disconnect_before_hello(self, server):
+        sock = socket.create_connection(server.address, timeout=10.0)
+        sock.close()  # no hello, no goodbye
+        # Server stays healthy.
+        with Client.connect(*server.address, token="ok") as client:
+            assert client.report()["schema"] == "repro-service/2"
+
+
+# ----------------------------------------------------------------------
+# Concurrent wire clients
+# ----------------------------------------------------------------------
+class TestConcurrentClients:
+    def test_two_tenants_stream_concurrently(self):
+        config = service_config(workers=2)
+        with PlacementServer(service_config=config) as srv:
+            results = {}
+            errors = []
+
+            def run(tenant, seed):
+                try:
+                    with Client.connect(*srv.address, token=tenant) as c:
+                        h = c.submit("tiny", seed=seed, legalize=False,
+                                     max_iterations=4, subscribe=True)
+                        events = list(h.stream(timeout=120.0))
+                        rec = h.result(timeout=120.0)
+                        results[tenant] = (events, rec)
+                except Exception as exc:  # noqa: BLE001 — collected below
+                    errors.append((tenant, exc))
+
+            threads = [
+                threading.Thread(target=run, args=(f"t{i}", 60 + i))
+                for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=180.0)
+            assert not errors, errors
+            assert len(results) == 3
+            for tenant, (events, rec) in results.items():
+                assert rec.state.value == "done"
+                assert events[-1]["type"] == "result"
+                assert all(
+                    e["job"].startswith(tenant + "-") for e in events
+                )
